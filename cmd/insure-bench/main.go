@@ -1,0 +1,49 @@
+// Command insure-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	insure-bench -exp all          # every experiment
+//	insure-bench -exp fig17        # one experiment
+//	insure-bench -list             # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"insure/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insure-bench: ")
+	exp := flag.String("exp", "all", "experiment ID to run, or 'all'")
+	list := flag.Bool("list", false, "list available experiment IDs")
+	format := flag.String("format", "text", "output format: text, csv, markdown")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if strings.EqualFold(*exp, "all") {
+		for _, tbl := range experiments.RunAll() {
+			if err := tbl.RenderAs(os.Stdout, *format); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+	tbl, err := experiments.Run(*exp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.RenderAs(os.Stdout, *format); err != nil {
+		log.Fatal(err)
+	}
+}

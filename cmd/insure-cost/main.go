@@ -1,0 +1,61 @@
+// Command insure-cost explores the paper's techno-economic models: the
+// transmission/TCO comparisons, depreciation breakdowns, scale-out
+// economics, and the in-situ/cloud crossover.
+//
+// Usage:
+//
+//	insure-cost                       # all cost tables
+//	insure-cost -crossover            # sweep the break-even data rate
+//	insure-cost -rate 50 -sunshine 80 # evaluate one deployment point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"insure/internal/cost"
+	"insure/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insure-cost: ")
+	crossover := flag.Bool("crossover", false, "sweep the in-situ/cloud break-even data rate")
+	rate := flag.Float64("rate", 0, "evaluate one data rate (GB/day)")
+	sunshine := flag.Float64("sunshine", 100, "sunshine fraction in percent")
+	flag.Parse()
+
+	a := cost.Default()
+	if *crossover {
+		fmt.Println("sunshine%  crossover GB/day")
+		for _, s := range []float64{1.0, 0.8, 0.6, 0.4} {
+			fmt.Printf("%8.0f  %.2f\n", s*100, a.Crossover(s))
+		}
+		return
+	}
+	if *rate > 0 {
+		s := *sunshine / 100
+		insitu := a.InSituTCO(*rate, s)
+		cloud := a.CloudTCO(*rate)
+		fmt.Printf("data rate %.1f GB/day at %.0f%% sunshine (5-yr TCO):\n", *rate, *sunshine)
+		fmt.Printf("  in-situ  $%.0f\n", float64(insitu))
+		fmt.Printf("  cloud    $%.0f\n", float64(cloud))
+		if insitu < cloud {
+			fmt.Printf("  in-situ saves %.0f%%\n", (1-float64(insitu)/float64(cloud))*100)
+		} else {
+			fmt.Printf("  cloud saves %.0f%%\n", (1-float64(cloud)/float64(insitu))*100)
+		}
+		return
+	}
+	for _, id := range []string{"fig1a", "fig1b", "table1", "fig3a", "fig3b", "fig22", "fig23", "fig24", "fig25"} {
+		tbl, err := experiments.Run(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

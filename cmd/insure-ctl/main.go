@@ -1,0 +1,115 @@
+// Command insure-ctl is a Modbus TCP client for the battery control panel
+// served by insure-plcd (or the real prototype's Weintek panel). It reads
+// per-unit telemetry and drives the charge/discharge relays.
+//
+// Usage:
+//
+//	insure-ctl -addr 127.0.0.1:1502 status           # per-unit telemetry
+//	insure-ctl -addr 127.0.0.1:1502 charge 2         # unit 2 -> charge bus
+//	insure-ctl -addr 127.0.0.1:1502 discharge 2      # unit 2 -> load bus
+//	insure-ctl -addr 127.0.0.1:1502 open 2           # unit 2 -> open
+//	insure-ctl -addr 127.0.0.1:1502 coils            # raw coil states
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+
+	"insure/internal/modbus"
+	"insure/internal/plc"
+	"insure/internal/sensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insure-ctl: ")
+	addr := flag.String("addr", "127.0.0.1:1502", "control panel address")
+	units := flag.Int("units", 6, "battery units on the panel")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"status"}
+	}
+
+	c, err := modbus.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "status":
+		status(c, *units)
+	case "coils":
+		coils(c, *units)
+	case "charge", "discharge", "open":
+		if len(args) < 2 {
+			log.Fatalf("%s needs a unit index", args[0])
+		}
+		unit, err := strconv.Atoi(args[1])
+		if err != nil || unit < 0 || unit >= *units {
+			log.Fatalf("bad unit %q", args[1])
+		}
+		setMode(c, unit, args[0])
+	default:
+		log.Fatalf("unknown command %q (want status, coils, charge, discharge, open)", args[0])
+	}
+}
+
+// status decodes the voltage/current input registers through the same
+// transducer models the panel encodes with.
+func status(c *modbus.Client, n int) {
+	regs, err := c.ReadInput(0, uint16(2*n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := c.ReadInput(plc.InputSolarPower, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solar %d W, load %d W\n", sys[0], sys[1])
+	for i := 0; i < n; i++ {
+		probe := sensor.NewBatteryProbe(i)
+		probe.Volt.SetRaw(regs[2*i])
+		probe.Current.SetRaw(regs[2*i+1])
+		v, cur := probe.Readings()
+		state := "idle"
+		switch {
+		case cur > 0.2:
+			state = "discharging"
+		case cur < -0.2:
+			state = "charging"
+		}
+		fmt.Printf("battery #%d: %6.2f V %6.2f A  %s\n", i+1, float64(v), float64(cur), state)
+	}
+}
+
+func coils(c *modbus.Client, n int) {
+	bits, err := c.ReadCoils(0, uint16(2*n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Printf("battery #%d: charge=%v discharge=%v\n", i+1, bits[2*i], bits[2*i+1])
+	}
+}
+
+// setMode swings the unit's relay pair atomically with a multi-coil write,
+// preserving the charge/discharge interlock.
+func setMode(c *modbus.Client, unit int, mode string) {
+	var pair []bool
+	switch mode {
+	case "charge":
+		pair = []bool{true, false}
+	case "discharge":
+		pair = []bool{false, true}
+	default:
+		pair = []bool{false, false}
+	}
+	if err := c.WriteCoils(plc.CoilCharge(unit), pair); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("battery #%d -> %s\n", unit+1, mode)
+}

@@ -1,0 +1,105 @@
+// Command insure-plcd runs the battery-array control panel as a standalone
+// Modbus TCP server — the same control plane the prototype exposes between
+// its PLC and the coordination node (§4).
+//
+// The daemon simulates the battery array, relay fabric, and transducers in
+// real time. Any Modbus TCP client can read per-unit voltage/current input
+// registers and drive the charge/discharge coils; the register map is
+// documented in insure/internal/plc.
+//
+// Usage:
+//
+//	insure-plcd -listen 127.0.0.1:1502 -units 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"insure/internal/battery"
+	"insure/internal/modbus"
+	"insure/internal/plc"
+	"insure/internal/relay"
+	"insure/internal/sensor"
+	"insure/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insure-plcd: ")
+	listen := flag.String("listen", "127.0.0.1:1502", "Modbus TCP listen address")
+	n := flag.Int("units", 6, "battery units")
+	soc := flag.Float64("soc", 0.5, "initial state of charge")
+	solarW := flag.Float64("solar", 400, "charge-bus power budget (W)")
+	loadW := flag.Float64("load", 300, "discharge-bus load (W)")
+	flag.Parse()
+
+	bank, err := battery.NewBank(battery.DefaultParams(), *n, *soc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fabric := relay.NewFabric(*n)
+	probes := make([]*sensor.BatteryProbe, *n)
+	for i := range probes {
+		probes[i] = sensor.NewBatteryProbe(i)
+	}
+
+	controller := plc.New(*n)
+	controller.Sample = func(r *plc.RegisterFile) {
+		for i, u := range bank.Units() {
+			snap := u.Snapshot()
+			probes[i].Sample(snap.Terminal, snap.LastCurrent)
+			_ = r.SetInput(plc.InputVolt(i), probes[i].Volt.Raw())
+			_ = r.SetInput(plc.InputCurrent(i), probes[i].Current.Raw())
+		}
+		_ = r.SetInput(plc.InputSolarPower, uint16(*solarW))
+		_ = r.SetInput(plc.InputLoadPower, uint16(*loadW))
+	}
+	controller.Actuate = func(r *plc.RegisterFile) {
+		for i := 0; i < *n; i++ {
+			cr, err1 := r.ReadCoils(plc.CoilCharge(i), 1)
+			dr, err2 := r.ReadCoils(plc.CoilDischarge(i), 1)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			pair := fabric.Pair(i)
+			switch {
+			case cr[0] && dr[0]:
+				pair.SetMode(relay.Open) // interlock
+			case cr[0]:
+				pair.SetMode(relay.Charging)
+			case dr[0]:
+				pair.SetMode(relay.Discharging)
+			default:
+				pair.SetMode(relay.Open)
+			}
+		}
+	}
+
+	srv := modbus.NewServer(controller.Regs)
+	srv.Logf = log.Printf
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("battery control panel on modbus-tcp://%s (%d units)\n", addr, *n)
+	fmt.Println("coils: 2i=charge relay, 2i+1=discharge relay; inputs: 2i=voltage code, 2i+1=current code")
+
+	// Real-time plant loop: 1 s physics ticks, PLC scanning continuously.
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for range ticker.C {
+		charging := fabric.UnitsIn(relay.Charging)
+		discharging := fabric.UnitsIn(relay.Discharging)
+		bank.ChargeSet(charging, units.Watt(*solarW), time.Second)
+		bank.DischargeSet(discharging, units.Watt(*loadW), time.Second)
+		for _, i := range fabric.UnitsIn(relay.Open) {
+			bank.Unit(i).Rest(time.Second)
+		}
+		fabric.Tick(time.Second)
+		controller.Tick(time.Second)
+	}
+}

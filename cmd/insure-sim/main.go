@@ -1,0 +1,208 @@
+// Command insure-sim runs one simulated day of the InSURE prototype and
+// prints the operating report — optionally for both power managers side by
+// side, and optionally dumping the solar trace or the recorder series as
+// CSV.
+//
+// Usage:
+//
+//	insure-sim -weather sunny -workload seismic -policy insure
+//	insure-sim -weather rainy -workload video -compare
+//	insure-sim -peak 1000 -dump-trace solar.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"insure/internal/baseline"
+	"insure/internal/core"
+	"insure/internal/sim"
+	"insure/internal/solar"
+	"insure/internal/trace"
+	"insure/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insure-sim: ")
+
+	weather := flag.String("weather", "sunny", "sky model: sunny, cloudy, rainy")
+	wl := flag.String("workload", "seismic", "workload: seismic, video")
+	policy := flag.String("policy", "insure", "power manager: insure, baseline")
+	compare := flag.Bool("compare", false, "run both managers on the identical trace")
+	seed := flag.Int64("seed", 2015, "trace seed")
+	peak := flag.Float64("peak", 0, "scale trace to this peak power (W); 0 = natural")
+	energy := flag.Float64("energy", 0, "scale trace to this total energy (kWh); 0 = natural")
+	batteries := flag.Int("batteries", 6, "battery units in the e-Buffer")
+	servers := flag.Int("servers", 4, "server nodes in the cluster")
+	dumpTrace := flag.String("dump-trace", "", "write the solar trace CSV to this path and exit")
+	fromTrace := flag.String("trace", "", "replay a recorded solar trace CSV instead of synthesising one")
+	dumpFrames := flag.String("dump-frames", "", "write the recorder series CSV to this path")
+	dumpLog := flag.String("dump-log", "", "write the operational event log to this path")
+	flag.Parse()
+
+	cond := solar.Sunny
+	switch *weather {
+	case "sunny":
+	case "cloudy":
+		cond = solar.Cloudy
+	case "rainy":
+		cond = solar.Rainy
+	default:
+		log.Fatalf("unknown weather %q", *weather)
+	}
+	var tr *trace.Trace
+	if *fromTrace != "" {
+		f, err := os.Open(*fromTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		tr = trace.Synthesize(cond, *seed, time.Second)
+	}
+	if *peak > 0 {
+		tr = tr.ScaleToPeak(units.Watt(*peak))
+	} else if *energy > 0 {
+		tr = tr.ScaleToEnergy(units.KiloWattHour(*energy))
+	}
+
+	if *dumpTrace != "" {
+		f, err := os.Create(*dumpTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d samples (avg %v, %.1f kWh) to %s\n",
+			tr.Len(), tr.Average(), tr.TotalEnergy().KWh(), *dumpTrace)
+		return
+	}
+
+	mkSink := func() sim.Sink {
+		switch *wl {
+		case "seismic":
+			return sim.NewSeismicSink()
+		case "video":
+			return sim.NewVideoSink()
+		default:
+			log.Fatalf("unknown workload %q", *wl)
+			return nil
+		}
+	}
+	run := func(name string) sim.Result {
+		cfg := sim.DefaultConfig(tr)
+		cfg.BatteryCount = *batteries
+		cfg.ServerCount = *servers
+		sys, err := sim.New(cfg, mkSink())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var mgr sim.Manager
+		if name == "baseline" {
+			mgr = baseline.New(baseline.DefaultConfig())
+		} else {
+			mgr = core.New(core.DefaultConfig(), cfg.BatteryCount)
+		}
+		res := sys.Run(mgr)
+		if *dumpFrames != "" {
+			path := *dumpFrames
+			if *compare {
+				path = name + "-" + path
+			}
+			if err := writeFrames(path, sys); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *dumpLog != "" {
+			path := *dumpLog
+			if *compare {
+				path = name + "-" + path
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sys.Log.WriteText(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return res
+	}
+
+	report := func(r sim.Result) {
+		fmt.Printf("%-10s %s day, %s workload\n", r.Manager, *weather, r.Workload)
+		fmt.Printf("  uptime           %.1f%%\n", r.UptimeFrac*100)
+		fmt.Printf("  processed        %.1f GB (%.2f GB/h)\n", r.ProcessedGB, r.Throughput)
+		fmt.Printf("  mean delay       %.1f min\n", r.DelayMin)
+		fmt.Printf("  e-buffer avail   %.0f Wh (mean stored)\n", float64(r.EnergyAvail))
+		fmt.Printf("  service life     %.1f yr projected\n", r.ServiceLifeYear)
+		fmt.Printf("  perf per Ah      %.2f GB/Ah\n", r.PerfPerAh)
+		fmt.Printf("  energy           load %.2f kWh, effective %.2f kWh, harvested %.2f kWh, curtailed %.2f kWh\n",
+			r.LoadKWh, r.EffectiveKWh, r.HarvestedKWh, r.CurtailedKWh)
+		fmt.Printf("  events           %d power ops, %d on/off cycles, %d VM ops, %d brownouts\n",
+			r.PowerOps, r.OnOffCycles, r.VMOps, r.Brownouts)
+		fmt.Printf("  battery          min %.2f V, end %.2f V, stddev %.2f, wear %.2f Ah/unit\n\n",
+			float64(r.MinVolt), float64(r.EndVolt), r.VoltStdDev, float64(r.WearAhPerUnit))
+	}
+
+	if *compare {
+		report(run("insure"))
+		report(run("baseline"))
+		return
+	}
+	report(run(*policy))
+}
+
+func writeFrames(path string, sys *sim.System) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"seconds", "solar_w", "load_w", "stored_wh", "running_vms"}
+	for i := 0; i < sys.Bank.Size(); i++ {
+		header = append(header,
+			fmt.Sprintf("v%d", i), fmt.Sprintf("soc%d", i), fmt.Sprintf("mode%d", i))
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, fr := range sys.Recorder().Frames() {
+		row := []string{
+			strconv.FormatInt(int64(fr.At/time.Second), 10),
+			fmt.Sprintf("%.1f", float64(fr.Solar)),
+			fmt.Sprintf("%.1f", float64(fr.Load)),
+			fmt.Sprintf("%.1f", float64(fr.StoredWh)),
+			strconv.Itoa(fr.RunningVM),
+		}
+		for i := range fr.Volts {
+			row = append(row,
+				fmt.Sprintf("%.3f", float64(fr.Volts[i])),
+				fmt.Sprintf("%.3f", fr.SoCs[i]),
+				fr.Modes[i].String())
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

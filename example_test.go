@@ -1,0 +1,58 @@
+package insure_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"insure"
+)
+
+// ExampleRun simulates a single day and reads the operating report.
+func ExampleRun() {
+	report, err := insure.Run(insure.Config{
+		Day:      insure.Day{Weather: insure.Sunny, PeakWatts: 1000},
+		Workload: insure.SeismicWorkload(),
+		Policy:   insure.PolicyInSURE,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("processed %.0f GB at %.0f%% uptime\n", report.ProcessedGB, report.UptimeFrac*100)
+}
+
+// ExampleCompare runs the paper's paired-trace methodology: both managers
+// see the identical day and workload.
+func ExampleCompare() {
+	opt, base, err := insure.Compare(insure.Config{
+		Day:      insure.Day{Weather: Rainy()},
+		Workload: insure.SurveillanceWorkload(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("InSURE %.1f GB vs baseline %.1f GB\n", opt.ProcessedGB, base.ProcessedGB)
+}
+
+// Rainy exists so the example reads naturally.
+func Rainy() insure.Weather { return insure.Rainy }
+
+// ExampleExperiment regenerates one of the paper's tables.
+func ExampleExperiment() {
+	if err := insure.Experiment("table2", os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// ExampleConfig_backup fits the optional secondary generator of Fig 6.
+func ExampleConfig_backup() {
+	report, err := insure.Run(insure.Config{
+		Day:      insure.Day{Weather: insure.Rainy, PeakWatts: 200},
+		Workload: insure.SurveillanceWorkload(),
+		Backup:   insure.BackupDiesel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generator bridged %.1f kWh for $%.2f of fuel\n", report.GenKWh, report.GenFuelCost)
+}

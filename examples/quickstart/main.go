@@ -1,0 +1,32 @@
+// Quickstart: simulate one sunny day of the InSURE prototype processing
+// seismic survey data, and print the day's operating report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"insure"
+)
+
+func main() {
+	report, err := insure.Run(insure.Config{
+		Day:      insure.Day{Weather: insure.Sunny, PeakWatts: 1000},
+		Workload: insure.SeismicWorkload(),
+		Policy:   insure.PolicyInSURE,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("InSURE quickstart — one sunny day, seismic batch workload")
+	fmt.Printf("  cluster uptime:        %.1f%% of the operating window\n", report.UptimeFrac*100)
+	fmt.Printf("  data processed:        %.1f GB (%.2f GB/h)\n", report.ProcessedGB, report.ThroughputGB)
+	fmt.Printf("  solar harvested:       %.2f kWh (%.2f kWh curtailed)\n", report.HarvestedKWh, report.CurtailedKWh)
+	fmt.Printf("  e-buffer mean level:   %.0f Wh\n", report.EnergyAvailWh)
+	fmt.Printf("  buffer service life:   %.1f years projected\n", report.ServiceLifeYear)
+	fmt.Printf("  supply interruptions:  %d brownouts, %d server power cycles\n",
+		report.Brownouts, report.OnOffCycles)
+	fmt.Println()
+	fmt.Println("prototype battery units:", insure.BatteryDefaults())
+}

@@ -1,0 +1,41 @@
+// Surveillance case study: 24 remote cameras stream 0.21 GB/min of video
+// for wildlife/volcano/epidemic monitoring (§2.1, §5). The stream is
+// delay-tolerant but continuous, so the power manager adjusts the VM count
+// between stream windows instead of throttling frequency mid-job.
+//
+// The example sweeps the solar budget (the paper's over-subscription study,
+// §6.4) and shows how service degrades under each power manager.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"insure"
+)
+
+func main() {
+	fmt.Println("24-camera video surveillance under shrinking solar budgets")
+	fmt.Println()
+	fmt.Printf("%-10s %-9s %8s %9s %11s %11s\n",
+		"solar peak", "policy", "uptime", "GB done", "delay (min)", "perf/Ah")
+
+	for _, peak := range []float64{1000, 750, 500} {
+		opt, base, err := insure.Compare(insure.Config{
+			Day:      insure.Day{Weather: insure.Sunny, PeakWatts: peak},
+			Workload: insure.SurveillanceWorkload(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range []insure.Report{opt, base} {
+			fmt.Printf("%7.0f W  %-9s %7.1f%% %9.1f %11.1f %11.2f\n",
+				peak, r.Policy, r.UptimeFrac*100, r.ProcessedGB, r.DelayMinutes, r.PerfPerAh)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Even with the solar budget cut in half, InSURE maintains its advantage —")
+	fmt.Println("the paper's observation that optimisation effectiveness holds under")
+	fmt.Println("power over-subscription (§6.4).")
+}

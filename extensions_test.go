@@ -1,0 +1,101 @@
+package insure
+
+import "testing"
+
+// The extension features model parts of the design space the paper
+// describes but did not prototype: the secondary power feed of Fig 6 and
+// the wind half of the "wind/solar standalone system" of §2.2.
+
+func TestBackupBridgesRenewableDrought(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired full-day runs")
+	}
+	dark := Day{Weather: Rainy, PeakWatts: 200}
+	none, err := Run(Config{Day: dark, Workload: SurveillanceWorkload()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diesel, err := Run(Config{Day: dark, Workload: SurveillanceWorkload(), Backup: BackupDiesel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diesel.UptimeFrac <= none.UptimeFrac {
+		t.Errorf("backup uptime %.2f not above unbacked %.2f", diesel.UptimeFrac, none.UptimeFrac)
+	}
+	if diesel.GenFuelCost <= 0 || diesel.GenKWh <= 0 || diesel.GenStarts == 0 {
+		t.Errorf("generator accounting empty: %+v", diesel)
+	}
+	if none.GenStarts != 0 || none.GenFuelCost != 0 {
+		t.Error("unbacked run reports generator activity")
+	}
+}
+
+func TestBackupIdleOnGoodDays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-day run")
+	}
+	r, err := Run(Config{
+		Day:      Day{Weather: Sunny},
+		Workload: SeismicWorkload(),
+		Backup:   BackupFuelCell,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Renewables stay primary: on an abundant day the generator burns at
+	// most a trivial amount of bridging fuel.
+	if r.GenKWh > 0.2*r.HarvestedKWh {
+		t.Errorf("generator supplied %.2f kWh against %.2f kWh renewable — not a backup",
+			r.GenKWh, r.HarvestedKWh)
+	}
+}
+
+func TestWindExtendsRainyDays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired full-day runs")
+	}
+	solarOnly, err := Run(Config{Day: Day{Weather: Rainy}, Workload: SurveillanceWorkload()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := Run(Config{Day: Day{Weather: Rainy}, Workload: SurveillanceWorkload(), Wind: WindWindy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid.WindKWh <= 0 {
+		t.Fatal("windy site generated nothing")
+	}
+	if solarOnly.WindKWh != 0 {
+		t.Error("solar-only run reports wind energy")
+	}
+	if hybrid.ProcessedGB <= solarOnly.ProcessedGB {
+		t.Errorf("hybrid processed %.1f GB, not above solar-only %.1f",
+			hybrid.ProcessedGB, solarOnly.ProcessedGB)
+	}
+}
+
+func TestWindSiteOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full-day runs")
+	}
+	var prev float64 = -1
+	for _, site := range []WindSite{WindCalm, WindModerate, WindWindy} {
+		r, err := Run(Config{Day: Day{Weather: Cloudy}, Workload: SurveillanceWorkload(), Wind: site})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.WindKWh <= prev {
+			t.Errorf("%v site wind %.2f kWh not above previous %.2f", site, r.WindKWh, prev)
+		}
+		prev = r.WindKWh
+	}
+}
+
+func TestBackupStrings(t *testing.T) {
+	if BackupNone.String() != "none" || BackupDiesel.String() != "diesel" || BackupFuelCell.String() != "fuel-cell" {
+		t.Error("backup names wrong")
+	}
+	if WindNone.String() != "none" || WindWindy.String() != "windy" {
+		t.Error("wind site names wrong")
+	}
+}

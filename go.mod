@@ -1,0 +1,3 @@
+module insure
+
+go 1.22

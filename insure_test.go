@@ -1,0 +1,164 @@
+package insure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	r, err := Run(Config{Day: Day{Weather: Sunny, PeakWatts: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Policy != "InSURE" || r.Workload != "seismic" {
+		t.Errorf("defaults wrong: %s/%s", r.Policy, r.Workload)
+	}
+	if r.ProcessedGB <= 0 || r.UptimeFrac <= 0 {
+		t.Errorf("no work done: %+v", r)
+	}
+	if r.HarvestedKWh <= 0 {
+		t.Error("no solar harvested")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Batteries: -1}); err == nil {
+		t.Error("negative batteries accepted")
+	}
+	if _, err := Run(Config{Servers: -1}); err == nil {
+		t.Error("negative servers accepted")
+	}
+}
+
+func TestCompareFavoursInSURE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired full-day runs are slow")
+	}
+	opt, base, err := Compare(Config{
+		Day:      Day{Weather: Sunny, PeakWatts: 1000},
+		Workload: SurveillanceWorkload(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Policy != "InSURE" || base.Policy != "baseline" {
+		t.Fatalf("policies mislabelled: %s vs %s", opt.Policy, base.Policy)
+	}
+	if opt.ThroughputGB <= base.ThroughputGB {
+		t.Errorf("InSURE throughput %.2f not above baseline %.2f", opt.ThroughputGB, base.ThroughputGB)
+	}
+	if opt.WearAhPerUnit >= base.WearAhPerUnit {
+		t.Errorf("InSURE wear %.2f not below baseline %.2f", opt.WearAhPerUnit, base.WearAhPerUnit)
+	}
+}
+
+func TestDayShaping(t *testing.T) {
+	peak := Day{Weather: Sunny, PeakWatts: 500}.trace()
+	if got := float64(peak.Peak()); got < 495 || got > 505 {
+		t.Errorf("peak-shaped day peaks at %v W, want 500", got)
+	}
+	energy := Day{Weather: Cloudy, EnergyKWh: 5.9}.trace()
+	if got := energy.TotalEnergy().KWh(); got < 5.85 || got > 5.95 {
+		t.Errorf("energy-shaped day holds %v kWh, want 5.9", got)
+	}
+}
+
+func TestDayDeterminism(t *testing.T) {
+	a := Day{Weather: Rainy, Seed: 7}.trace()
+	b := Day{Weather: Rainy, Seed: 7}.trace()
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("equal seeds diverged")
+		}
+	}
+}
+
+func TestKernelWorkload(t *testing.T) {
+	for _, name := range Kernels() {
+		w, err := KernelWorkload(name)
+		if err != nil {
+			t.Errorf("kernel %q: %v", name, err)
+		}
+		if w.Name() != name {
+			t.Errorf("kernel name %q != %q", w.Name(), name)
+		}
+	}
+	if _, err := KernelWorkload("nonexistent"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := KernelWorkload("DEDUP"); err != nil {
+		t.Error("kernel lookup should be case-insensitive")
+	}
+}
+
+func TestLowPowerNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-day runs are slow")
+	}
+	xeon, err := Run(Config{Day: Day{PeakWatts: 1000}, Workload: SurveillanceWorkload()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i7, err := Run(Config{Day: Day{PeakWatts: 1000}, Workload: SurveillanceWorkload(), LowPowerNodes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 7's point: low-power nodes do far more per joule; with the same
+	// solar budget they consume far less energy for comparable service.
+	if i7.LoadKWh >= xeon.LoadKWh {
+		t.Errorf("i7 cluster consumed %.2f kWh, not below Xeon's %.2f", i7.LoadKWh, xeon.LoadKWh)
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1a", "fig1b", "fig3a", "fig3b", "fig4a", "fig4b", "fig5",
+		"fig14a", "fig14b", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
+		"table1", "table2", "table3", "table6", "table7",
+		"extbackup", "exthybrid", "extforecast", "extendurance", "extpriorart",
+	}
+	have := map[string]bool{}
+	for _, id := range ExperimentIDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(have) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(have), len(want))
+	}
+}
+
+func TestExperimentRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Experiment("table2", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "TABLE2") || !strings.Contains(out, "8VM") {
+		t.Errorf("table2 output malformed:\n%s", out)
+	}
+	if err := Experiment("no-such-figure", &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestBatteryDefaultsString(t *testing.T) {
+	s := BatteryDefaults()
+	if !strings.Contains(s, "35 Ah") || !strings.Contains(s, "12 V") {
+		t.Errorf("battery defaults = %q", s)
+	}
+}
+
+func TestWeatherString(t *testing.T) {
+	if Sunny.String() != "sunny" || Cloudy.String() != "cloudy" || Rainy.String() != "rainy" {
+		t.Error("weather names wrong")
+	}
+}

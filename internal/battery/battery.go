@@ -1,0 +1,430 @@
+// Package battery models the lead-acid energy buffer units used by InSURE.
+//
+// The paper's power management exploits three electrochemical properties of
+// lead-acid batteries (§2.2, Fig 4):
+//
+//  1. Rate-capacity effect: high discharge current causes a super-fast
+//     apparent capacity (and terminal voltage) drop.
+//  2. Recovery effect: the apparent capacity lost at high current is largely
+//     recovered during periods of low demand.
+//  3. Charge acceptance: a near-empty battery accepts charge at a much
+//     higher rate than one close to full, and a battery held at charging
+//     voltage draws a parasitic gassing current regardless of how much
+//     useful charge it absorbs — so concentrating a limited power budget on
+//     fewer units charges the fleet faster than batch charging.
+//
+// Properties 1 and 2 are reproduced with the Kinetic Battery Model (KiBaM,
+// Manwell & McGowan): the battery's charge lives in an available well and a
+// bound well connected by a diffusion-rate valve. Property 3 is reproduced
+// with an SoC-dependent acceptance limit plus a per-connected-unit gassing
+// overhead.
+package battery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"insure/internal/units"
+)
+
+// Params configures a single battery unit. The defaults (see DefaultParams)
+// model the UPG UB1280 12 V 35 Ah units of the paper's prototype.
+type Params struct {
+	// CapacityAh is the nominal capacity at the rated discharge current.
+	CapacityAh units.AmpHour
+	// NominalVolt is the nameplate voltage (12 V for the prototype units).
+	NominalVolt units.Volt
+
+	// CapacityRatio (KiBaM c) is the fraction of capacity in the available
+	// well. Smaller values exaggerate the rate-capacity effect.
+	CapacityRatio float64
+	// RateConst (KiBaM k, 1/s) governs how quickly bound charge diffuses
+	// into the available well — i.e. how fast the battery recovers.
+	RateConst float64
+
+	// InternalOhm is the series resistance used for the terminal-voltage
+	// model (V = OCV − I·R on discharge, OCV + I·R on charge).
+	InternalOhm float64
+	// OCVEmpty and OCVFull anchor the linear open-circuit-voltage curve.
+	OCVEmpty units.Volt
+	OCVFull  units.Volt
+
+	// MaxChargeA is the bulk-phase charge acceptance limit (~0.25 C).
+	MaxChargeA units.Amp
+	// FloatA is the residual acceptance at 100% SoC.
+	FloatA units.Amp
+	// TaperKnee is the SoC above which acceptance tapers from MaxChargeA
+	// toward FloatA.
+	TaperKnee float64
+	// GassingA is the parasitic current drawn whenever the unit is held at
+	// charging voltage, independent of useful charge absorbed. This is the
+	// per-unit overhead that makes batch charging slow (Fig 4a).
+	GassingA units.Amp
+	// CoulombicEff is the fraction of accepted charge actually stored.
+	CoulombicEff float64
+
+	// LifetimeAh is the total discharge throughput the unit sustains before
+	// end of life (§2.2: aggregated Ah through the buffer is roughly
+	// constant over its life).
+	LifetimeAh units.AmpHour
+	// DeepSoC marks the depth below which discharge wear is accelerated by
+	// DeepWearFactor.
+	DeepSoC        float64
+	DeepWearFactor float64
+
+	// CutoffVolt is the protection threshold: below it the unit must be
+	// switched out (the paper's Offline mode trigger).
+	CutoffVolt units.Volt
+
+	// FadeAtEOL is the capacity fraction lost when the unit reaches its
+	// lifetime throughput (lead-acid end-of-life is conventionally 80% of
+	// nameplate, i.e. 0.2). Capacity fades linearly with wear, which is
+	// what makes multi-day endurance campaigns age realistically.
+	FadeAtEOL float64
+}
+
+// DefaultParams returns parameters calibrated to the prototype's UPG UB1280
+// 12 V / 35 Ah valve-regulated lead-acid units.
+func DefaultParams() Params {
+	return Params{
+		CapacityAh:     35,
+		NominalVolt:    12,
+		CapacityRatio:  0.55,
+		RateConst:      4.5e-4,
+		InternalOhm:    0.04,
+		OCVEmpty:       11.6,
+		OCVFull:        12.9,
+		MaxChargeA:     8.75, // 0.25 C
+		FloatA:         0.35,
+		TaperKnee:      0.80,
+		GassingA:       2.2,
+		CoulombicEff:   0.92,
+		LifetimeAh:     25000, // ≈715 full-capacity-equivalent cycles (≈4 yr at the prototype's duty)
+		DeepSoC:        0.25,
+		DeepWearFactor: 2.0,
+		CutoffVolt:     11.8,
+		FadeAtEOL:      0.2,
+	}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.CapacityAh <= 0:
+		return errors.New("battery: capacity must be positive")
+	case p.CapacityRatio <= 0 || p.CapacityRatio >= 1:
+		return errors.New("battery: capacity ratio must be in (0,1)")
+	case p.RateConst <= 0:
+		return errors.New("battery: rate constant must be positive")
+	case p.OCVFull <= p.OCVEmpty:
+		return errors.New("battery: OCVFull must exceed OCVEmpty")
+	case p.MaxChargeA <= p.FloatA:
+		return errors.New("battery: MaxChargeA must exceed FloatA")
+	case p.TaperKnee <= 0 || p.TaperKnee >= 1:
+		return errors.New("battery: taper knee must be in (0,1)")
+	case p.CoulombicEff <= 0 || p.CoulombicEff > 1:
+		return errors.New("battery: coulombic efficiency must be in (0,1]")
+	case p.LifetimeAh <= 0:
+		return errors.New("battery: lifetime throughput must be positive")
+	}
+	return nil
+}
+
+// Unit is one battery cabinet: a KiBaM cell plus wear accounting and the
+// instrumentation state a transducer can observe.
+type Unit struct {
+	p Params
+
+	// KiBaM wells, in amp-hours.
+	avail float64 // y1: immediately extractable charge
+	bound float64 // y2: chemically bound charge
+
+	lastI units.Amp // signed: + discharge, − charge (for terminal voltage)
+
+	throughput units.AmpHour // lifetime discharge Ah (wear-weighted)
+	rawOut     units.AmpHour // unweighted Ah delivered over life
+	rawIn      units.AmpHour // unweighted Ah absorbed over life
+	cycles     float64       // full-capacity-equivalent cycles
+}
+
+// New returns a Unit at the given initial state of charge.
+func New(p Params, soc float64) (*Unit, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if soc < 0 || soc > 1 {
+		return nil, fmt.Errorf("battery: initial SoC %v out of [0,1]", soc)
+	}
+	cap := float64(p.CapacityAh)
+	return &Unit{
+		p:     p,
+		avail: soc * cap * p.CapacityRatio,
+		bound: soc * cap * (1 - p.CapacityRatio),
+	}, nil
+}
+
+// MustNew is New for known-good parameters; it panics on error.
+func MustNew(p Params, soc float64) *Unit {
+	u, err := New(p, soc)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Params returns the unit's configuration.
+func (u *Unit) Params() Params { return u.p }
+
+// capAh is the present usable capacity: nameplate reduced by linear aging
+// fade as wear accumulates toward the lifetime throughput.
+func (u *Unit) capAh() float64 {
+	fade := u.p.FadeAtEOL * math.Min(u.WearFraction(), 1.5)
+	return float64(u.p.CapacityAh) * (1 - fade)
+}
+
+// EffectiveCapacity is the present usable capacity after aging fade.
+func (u *Unit) EffectiveCapacity() units.AmpHour { return units.AmpHour(u.capAh()) }
+
+// SoC is the total state of charge in [0,1] counting both wells, against
+// the present (faded) capacity.
+func (u *Unit) SoC() float64 {
+	return units.Clamp((u.avail+u.bound)/u.capAh(), 0, 1)
+}
+
+// AvailableSoC is the normalised level of the available well only. Under
+// sustained high current it drops well below SoC — that gap is the
+// rate-capacity effect, and its closing at rest is the recovery effect.
+func (u *Unit) AvailableSoC() float64 {
+	denom := u.capAh() * u.p.CapacityRatio
+	return units.Clamp(u.avail/denom, 0, 1)
+}
+
+// StoredEnergy approximates the energy content at nominal voltage.
+func (u *Unit) StoredEnergy() units.WattHour {
+	return units.WattHour((u.avail + u.bound) * float64(u.p.NominalVolt))
+}
+
+// OCV is the rest (open-circuit) voltage implied by the available well.
+func (u *Unit) OCV() units.Volt {
+	return units.Volt(units.Lerp(float64(u.p.OCVEmpty), float64(u.p.OCVFull), u.AvailableSoC()))
+}
+
+// TerminalVoltage is what a transducer reads: OCV sagged or lifted by the
+// most recent current through the internal resistance.
+func (u *Unit) TerminalVoltage() units.Volt {
+	return units.Volt(float64(u.OCV()) - float64(u.lastI)*u.p.InternalOhm)
+}
+
+// BelowCutoff reports whether the protection threshold has been crossed.
+func (u *Unit) BelowCutoff() bool { return u.TerminalVoltage() < u.p.CutoffVolt }
+
+// Empty reports whether the available well is exhausted (the battery cannot
+// source current even though bound charge may remain).
+func (u *Unit) Empty() bool { return u.avail <= 1e-9 }
+
+// diffuse moves charge between the wells for dt seconds (KiBaM valve).
+func (u *Unit) diffuse(dtSec float64) {
+	c := u.p.CapacityRatio
+	h1 := u.avail / c
+	h2 := u.bound / (1 - c)
+	// Closed-form relaxation of the head difference avoids Euler
+	// instability at large dt: Δh decays with rate k(1/c + 1/(1−c)).
+	kk := u.p.RateConst * (1/c + 1/(1-c))
+	delta := (h2 - h1) * (1 - math.Exp(-kk*dtSec))
+	// Convert head change back to charge moved (both wells see the same
+	// transferred charge q; h1 rises by q/c, h2 falls by q/(1−c)).
+	q := delta / (1/c + 1/(1-c))
+	u.avail += q
+	u.bound -= q
+	if u.avail < 0 {
+		u.avail = 0
+	}
+	if u.bound < 0 {
+		u.bound = 0
+	}
+	capAh := u.capAh()
+	if u.avail > capAh*c {
+		u.avail = capAh * c
+	}
+	if u.bound > capAh*(1-c) {
+		u.bound = capAh * (1 - c)
+	}
+}
+
+// Rest advances the unit with no current flowing; only recovery diffusion
+// happens. The relay for this unit is open.
+func (u *Unit) Rest(dt time.Duration) {
+	u.lastI = 0
+	u.diffuse(dt.Seconds())
+}
+
+// Discharge draws current i for dt and returns the charge actually
+// delivered. Delivery stops early if the available well empties; callers
+// observe the shortfall as a voltage collapse.
+func (u *Unit) Discharge(i units.Amp, dt time.Duration) units.AmpHour {
+	if i < 0 {
+		panic("battery: negative discharge current")
+	}
+	dtSec := dt.Seconds()
+	want := float64(i) * dtSec / 3600 // Ah requested
+	got := want
+	if got > u.avail {
+		got = u.avail
+	}
+	u.avail -= got
+	u.diffuse(dtSec)
+	u.lastI = i
+	if got < want {
+		// Partially delivered: the terminal voltage should reflect a
+		// collapsed available well under load.
+		u.lastI = units.Amp(got * 3600 / math.Max(dtSec, 1e-9))
+	}
+
+	wear := got
+	if u.SoC() < u.p.DeepSoC {
+		wear *= u.p.DeepWearFactor
+	}
+	u.throughput += units.AmpHour(wear)
+	u.rawOut += units.AmpHour(got)
+	u.cycles += got / float64(u.p.CapacityAh)
+	return units.AmpHour(got)
+}
+
+// Acceptance is the maximum useful charging current at state of charge s.
+func (p Params) Acceptance(s float64) units.Amp {
+	if s <= p.TaperKnee {
+		return p.MaxChargeA
+	}
+	t := (s - p.TaperKnee) / (1 - p.TaperKnee)
+	return units.Amp(units.Lerp(float64(p.MaxChargeA), float64(p.FloatA), t))
+}
+
+// PeakChargePower is P_PC from the paper's SPM (Fig 10): the charging power
+// one unit absorbs at full acceptance, including the gassing overhead. The
+// optimal batch size is budget / PeakChargePower.
+func (p Params) PeakChargePower() units.Watt {
+	v := float64(p.OCVFull) + float64(p.MaxChargeA)*p.InternalOhm
+	return units.Watt((float64(p.MaxChargeA) + float64(p.GassingA)) * v)
+}
+
+// Charge pushes up to current i into the unit for dt and returns the current
+// actually drawn from the supply (useful charge + gassing overhead). The
+// stored charge is limited by acceptance and coulombic efficiency.
+func (u *Unit) Charge(i units.Amp, dt time.Duration) units.Amp {
+	if i < 0 {
+		panic("battery: negative charge current")
+	}
+	dtSec := dt.Seconds()
+	// Gassing overhead is drawn first whenever the unit sits on the charge
+	// bus; only the remainder does useful work.
+	gas := math.Min(float64(i), float64(u.p.GassingA))
+	useful := math.Min(float64(i)-gas, float64(u.p.Acceptance(u.SoC())))
+	if useful < 0 {
+		useful = 0
+	}
+	stored := useful * u.p.CoulombicEff * dtSec / 3600 // Ah
+
+	c := u.p.CapacityRatio
+	capAh := u.capAh()
+	// Charge enters the available well, then diffuses toward the bound well.
+	room := capAh*c - u.avail
+	if stored > room {
+		// Spill directly into the bound well when the available well tops
+		// out (absorption phase).
+		u.bound += stored - room
+		stored = room
+	}
+	u.avail += stored
+	if u.bound > capAh*(1-c) {
+		u.bound = capAh * (1 - c)
+	}
+	u.diffuse(dtSec)
+
+	drawn := units.Amp(gas + useful)
+	u.lastI = -drawn
+	u.rawIn += units.AmpHour(useful * dtSec / 3600)
+	return drawn
+}
+
+// ChargeAtPower charges from a power budget at the unit's present charging
+// voltage, returning the power actually consumed.
+func (u *Unit) ChargeAtPower(p units.Watt, dt time.Duration) units.Watt {
+	if p <= 0 {
+		u.Rest(dt)
+		return 0
+	}
+	v := u.chargeBusVoltage()
+	i := units.Current(p, v)
+	drawn := u.Charge(i, dt)
+	return units.Power(drawn, v)
+}
+
+// chargeBusVoltage approximates the regulated charging voltage for the unit.
+func (u *Unit) chargeBusVoltage() units.Volt {
+	return units.Volt(float64(u.OCV()) + float64(u.p.MaxChargeA)*u.p.InternalOhm)
+}
+
+// Throughput returns the wear-weighted lifetime discharge throughput (the
+// AhT[i] statistic driving the paper's SPM screening, Fig 9).
+func (u *Unit) Throughput() units.AmpHour { return u.throughput }
+
+// RawOut returns total unweighted charge delivered over the unit's life.
+func (u *Unit) RawOut() units.AmpHour { return u.rawOut }
+
+// RawIn returns total unweighted charge absorbed over the unit's life.
+func (u *Unit) RawIn() units.AmpHour { return u.rawIn }
+
+// EquivalentCycles returns full-capacity-equivalent discharge cycles.
+func (u *Unit) EquivalentCycles() float64 { return u.cycles }
+
+// WearFraction is the consumed fraction of the unit's lifetime throughput.
+func (u *Unit) WearFraction() float64 {
+	return float64(u.throughput) / float64(u.p.LifetimeAh)
+}
+
+// RemainingLife estimates remaining service time given an average daily
+// discharge throughput.
+func (u *Unit) RemainingLife(dailyAh units.AmpHour) time.Duration {
+	if dailyAh <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	days := (float64(u.p.LifetimeAh) - float64(u.throughput)) / float64(dailyAh)
+	if days < 0 {
+		days = 0
+	}
+	return time.Duration(days * 24 * float64(time.Hour))
+}
+
+// SetSoC forces the state of charge, distributing charge across both wells
+// at equilibrium. Intended for test setup and experiment initialisation.
+func (u *Unit) SetSoC(soc float64) {
+	soc = units.Clamp(soc, 0, 1)
+	capAh := u.capAh()
+	u.avail = soc * capAh * u.p.CapacityRatio
+	u.bound = soc * capAh * (1 - u.p.CapacityRatio)
+	u.lastI = 0
+}
+
+// Snapshot is an immutable view of the unit for recorders and sensors.
+type Snapshot struct {
+	SoC          float64
+	AvailableSoC float64
+	Terminal     units.Volt
+	LastCurrent  units.Amp
+	Throughput   units.AmpHour
+	StoredEnergy units.WattHour
+}
+
+// Snapshot captures the observable state of the unit.
+func (u *Unit) Snapshot() Snapshot {
+	return Snapshot{
+		SoC:          u.SoC(),
+		AvailableSoC: u.AvailableSoC(),
+		Terminal:     u.TerminalVoltage(),
+		LastCurrent:  u.lastI,
+		Throughput:   u.throughput,
+		StoredEnergy: u.StoredEnergy(),
+	}
+}

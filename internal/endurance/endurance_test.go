@@ -1,0 +1,102 @@
+package endurance
+
+import (
+	"testing"
+
+	"insure/internal/baseline"
+	"insure/internal/core"
+	"insure/internal/sim"
+	"insure/internal/solar"
+)
+
+func TestClimateMix(t *testing.T) {
+	c := NewClimate(0.5, 0.3, 7)
+	counts := map[solar.Condition]int{}
+	for i := 0; i < 3000; i++ {
+		counts[c.Day()]++
+	}
+	if frac := float64(counts[solar.Sunny]) / 3000; frac < 0.45 || frac > 0.55 {
+		t.Errorf("sunny fraction %.2f, want ~0.5", frac)
+	}
+	if frac := float64(counts[solar.Rainy]) / 3000; frac < 0.15 || frac > 0.25 {
+		t.Errorf("rainy fraction %.2f, want ~0.2", frac)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Campaign{Days: 0}); err == nil {
+		t.Error("zero-day campaign accepted")
+	}
+	if _, err := Run(Campaign{Days: 1}); err == nil {
+		t.Error("campaign without sink/manager accepted")
+	}
+}
+
+func TestWeekCampaignAccumulatesWear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("7 full-day simulations")
+	}
+	sum, err := Run(Campaign{
+		Days:      7,
+		Seed:      11,
+		PeakWatts: 1000,
+		NewSink:   func() sim.Sink { return sim.NewSeismicSink() },
+		Manager:   core.New(core.DefaultConfig(), 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Days) != 7 {
+		t.Fatalf("days = %d", len(sum.Days))
+	}
+	// Wear must be monotone non-decreasing across days.
+	prev := 0.0
+	for _, d := range sum.Days {
+		if float64(d.WearAh) < prev {
+			t.Errorf("day %d wear %.2f below previous %.2f", d.Day, float64(d.WearAh), prev)
+		}
+		prev = float64(d.WearAh)
+	}
+	if sum.TotalGB <= 0 {
+		t.Error("campaign processed nothing")
+	}
+	if sum.ProjectedLifeYears <= 0 {
+		t.Error("no life projection")
+	}
+	t.Logf("7-day campaign: %.0f GB, wear %.1f Ah/unit, projected life %.1f yr, %d brownouts",
+		sum.TotalGB, float64(sum.FinalWearAh), sum.ProjectedLifeYears, sum.TotalBrown)
+}
+
+func TestInSUREOutlastsBaselineOverAWeek(t *testing.T) {
+	if testing.Short() {
+		t.Skip("14 full-day simulations")
+	}
+	run := func(mgr sim.Manager) *Summary {
+		sum, err := Run(Campaign{
+			Days:      7,
+			Seed:      23,
+			PeakWatts: 1000,
+			NewSink:   func() sim.Sink { return sim.NewVideoSink() },
+			Manager:   mgr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	opt := run(core.New(core.DefaultConfig(), 6))
+	base := run(baseline.New(baseline.DefaultConfig()))
+	if opt.ProjectedLifeYears <= base.ProjectedLifeYears {
+		t.Errorf("InSURE projected life %.1f yr not above baseline %.1f yr",
+			opt.ProjectedLifeYears, base.ProjectedLifeYears)
+	}
+	if opt.TotalGB <= base.TotalGB {
+		t.Errorf("InSURE total %.0f GB not above baseline %.0f GB", opt.TotalGB, base.TotalGB)
+	}
+	// Table 1's premise: with InSURE's management the buffer approaches
+	// its multi-year design life.
+	if opt.ProjectedLifeYears < 2 {
+		t.Errorf("InSURE projected life %.1f yr — management should approach the 4-yr design life",
+			opt.ProjectedLifeYears)
+	}
+}

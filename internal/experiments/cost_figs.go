@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"insure/internal/cost"
+)
+
+func init() {
+	register("fig1a", Fig1a)
+	register("fig1b", Fig1b)
+	register("fig3a", Fig3a)
+	register("fig3b", Fig3b)
+	register("table1", Table1)
+	register("fig22", Fig22)
+	register("fig23", Fig23)
+	register("fig24", Fig24)
+	register("fig25", Fig25)
+}
+
+// Fig1a regenerates the bulk-transfer time chart.
+func Fig1a() *Table {
+	t := &Table{
+		ID:     "fig1a",
+		Title:  "Data transfer time per TB by link class",
+		Header: []string{"link", "hours/TB"},
+	}
+	for _, l := range cost.TypicalLinks() {
+		t.Rows = append(t.Rows, []string{l.Name, f1(l.HoursPerTB())})
+	}
+	return t
+}
+
+// Fig1b regenerates the AWS egress cost chart.
+func Fig1b() *Table {
+	t := &Table{
+		ID:     "fig1b",
+		Title:  "Average $/TB for data transfer out of AWS",
+		Header: []string{"volume (TB)", "avg $/TB"},
+	}
+	for _, tb := range []float64{10, 50, 150, 250, 500} {
+		t.Rows = append(t.Rows, []string{f0(tb), f0(float64(cost.AWSEgressPerTB(tb)))})
+	}
+	return t
+}
+
+// Fig3a regenerates the IT-related TCO comparison.
+func Fig3a() *Table {
+	a := cost.Default()
+	t := &Table{
+		ID:     "fig3a",
+		Title:  "IT-related TCO ($1000s) by strategy and years",
+		Header: []string{"strategy", "1 yr", "2 yr", "3 yr", "4 yr", "5 yr"},
+	}
+	for _, o := range cost.ITOptions() {
+		row := []string{o.String()}
+		for y := 1.0; y <= 5; y++ {
+			row = append(row, f0(a.ITTCO(o, y).K()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	sa := a.ITTCO(cost.SatelliteOnly, 5)
+	inSA := a.ITTCO(cost.InSituPlusSatellite, 5)
+	cell := a.ITTCO(cost.CellularOnly, 5)
+	inCell := a.ITTCO(cost.InSituPlusCellular, 5)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("5-yr saving vs satellite: %.0f%% (paper: >55%% OpEx)", (1-float64(inSA)/float64(sa))*100),
+		fmt.Sprintf("5-yr saving vs cellular: %.0f%% (paper: ~95%%)", (1-float64(inCell)/float64(cell))*100),
+	)
+	return t
+}
+
+// Fig3b regenerates the energy-related TCO comparison.
+func Fig3b() *Table {
+	a := cost.Default()
+	t := &Table{
+		ID:     "fig3b",
+		Title:  "Energy-related TCO ($1000s) by generator and years",
+		Header: []string{"generator", "1 yr", "3 yr", "5 yr", "7 yr", "9 yr", "11 yr"},
+	}
+	for _, g := range cost.Generators() {
+		row := []string{g.String()}
+		for _, y := range []float64{1, 3, 5, 7, 9, 11} {
+			row = append(row, f1(a.EnergyTCO(g, y).K()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table1 echoes the energy cost parameters used throughout (inputs).
+func Table1() *Table {
+	a := cost.Default()
+	return &Table{
+		ID:     "table1",
+		Title:  "Energy cost evaluation parameters",
+		Header: []string{"onsite generator", "energy-related CapEx", "energy-related OpEx"},
+		Rows: [][]string{
+			{"Diesel Generator", fmt.Sprintf("$%.0f per kW, lifetime %.0f yr", float64(a.DieselPerKW), a.DieselLifeYears),
+				fmt.Sprintf("$%.2f/kWh", float64(a.DieselPerKWh))},
+			{"Fuel Cells", fmt.Sprintf("$%.0f/W, stack life %.0f yr, system life %.0f yr", float64(a.FuelCellPerW), a.FCStackLifeYears, a.FCSystemLifeYears),
+				fmt.Sprintf("$%.2f/kWh", float64(a.FuelCellPerKWh))},
+			{"Solar + Battery", fmt.Sprintf("battery life %.0f yr, $%.0f/Ah; solar panel $%.0f/W", a.BatteryLifeYears, float64(a.BatteryPerAh), float64(a.SolarPerW)),
+				"N/A"},
+		},
+	}
+}
+
+// Fig22 regenerates the annual depreciation breakdown.
+func Fig22() *Table {
+	a := cost.Default()
+	t := &Table{
+		ID:     "fig22",
+		Title:  "Annual depreciation cost breakdown ($)",
+		Header: []string{"system", "total", "components"},
+	}
+	for _, g := range cost.Generators() {
+		parts := a.Depreciation(g)
+		var detail string
+		for i, p := range parts {
+			if i > 0 {
+				detail += ", "
+			}
+			detail += fmt.Sprintf("%s $%.0f", p.Name, float64(p.Annual))
+		}
+		t.Rows = append(t.Rows, []string{g.String(), f0(float64(cost.TotalAnnual(parts))), detail})
+	}
+	insure := cost.TotalAnnual(a.Depreciation(cost.SolarBattery))
+	dg := cost.TotalAnnual(a.Depreciation(cost.Diesel))
+	fc := cost.TotalAnnual(a.Depreciation(cost.FuelCell))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("diesel premium %.0f%% (paper ~20%%), fuel-cell premium %.0f%% (paper ~24%%)",
+			(float64(dg)/float64(insure)-1)*100, (float64(fc)/float64(insure)-1)*100))
+	return t
+}
+
+// Fig23 regenerates the scale-out vs cloud amortised cost chart.
+func Fig23() *Table {
+	a := cost.Default()
+	t := &Table{
+		ID:     "fig23",
+		Title:  "Amortised annual cost ($): scaling out vs relying on cloud",
+		Header: []string{"sunshine fraction", "scale out servers", "relying on cloud"},
+	}
+	cloud := a.CloudRelianceCost()
+	for _, s := range []float64{1.0, 0.8, 0.6, 0.4} {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", s*100),
+			f0(float64(a.ScaleOutCost(s))),
+			f0(float64(cloud)),
+		})
+	}
+	return t
+}
+
+// Fig24 regenerates the TCO-vs-data-rate curves with the crossover.
+func Fig24() *Table {
+	a := cost.Default()
+	t := &Table{
+		ID:     "fig24",
+		Title:  "5-yr TCO ($) by data rate: cloud vs in-situ at sunshine fractions",
+		Header: []string{"GB/day", "cloud", "insitu-100%", "insitu-80%", "insitu-60%", "insitu-40%"},
+	}
+	for _, rate := range []float64{0.5, 5, 50, 500} {
+		row := []string{fmt.Sprintf("%g", rate), f0(float64(a.CloudTCO(rate)))}
+		for _, s := range []float64{1.0, 0.8, 0.6, 0.4} {
+			row = append(row, f0(float64(a.InSituTCO(rate, s))))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("crossover at 100%% sunshine: %.2f GB/day (paper: ~0.9)", a.Crossover(1.0)),
+		fmt.Sprintf("saving at 500 GB/day: %.0f%% (paper: up to 96%%)",
+			(1-float64(a.InSituTCO(500, 1))/float64(a.CloudTCO(500)))*100),
+	)
+	return t
+}
+
+// Fig25 regenerates the application-scenario cost savings.
+func Fig25() *Table {
+	a := cost.Default()
+	t := &Table{
+		ID:     "fig25",
+		Title:  "Application-specific cost savings",
+		Header: []string{"scenario", "GB/day", "days", "saving"},
+	}
+	for _, s := range cost.Scenarios() {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%s: %s", s.Key, s.Name),
+			f0(s.GBPerDay), f0(s.Days),
+			fmt.Sprintf("%.0f%%", a.ScenarioSaving(s)*100),
+		})
+	}
+	t.Notes = append(t.Notes, "paper ranges: A 47-55%, B 15%, C 77-93%, D 94-95%, E 94-97%")
+	return t
+}

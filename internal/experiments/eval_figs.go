@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"math"
+
+	"insure/internal/baseline"
+	"insure/internal/core"
+	"insure/internal/metrics"
+	"insure/internal/sim"
+	"insure/internal/trace"
+	"insure/internal/workload"
+)
+
+func init() {
+	register("fig17", Fig17)
+	register("fig18", Fig18)
+	register("fig19", Fig19)
+	register("fig20", Fig20)
+	register("fig21", Fig21)
+}
+
+// comparePair runs InSURE and the baseline on identical traces and
+// workloads (the paper's §5 paired-trace methodology) and returns both
+// results.
+func comparePair(tr *trace.Trace, mk func() sim.Sink) (opt, base sim.Result) {
+	cfgA := sim.DefaultConfig(tr)
+	sysA, err := sim.New(cfgA, mk())
+	if err != nil {
+		panic(err)
+	}
+	opt = sysA.Run(core.New(core.DefaultConfig(), cfgA.BatteryCount))
+
+	cfgB := sim.DefaultConfig(tr)
+	sysB, err := sim.New(cfgB, mk())
+	if err != nil {
+		panic(err)
+	}
+	base = sysB.Run(baseline.New(baseline.DefaultConfig()))
+	return opt, base
+}
+
+// microPair runs one micro kernel under both managers on the given trace.
+func microPair(spec workload.Spec, tr *trace.Trace) (opt, base sim.Result) {
+	return comparePair(tr, func() sim.Sink { return sim.NewMicroSink(spec) })
+}
+
+// lifeImprovement converts the per-unit wear ratio into a service-life
+// improvement, bounded to keep near-zero baselines from exploding.
+func lifeImprovement(opt, base sim.Result) float64 {
+	if opt.WearAhPerUnit <= 0 {
+		if base.WearAhPerUnit <= 0 {
+			return 0
+		}
+		return 1
+	}
+	imp := float64(base.WearAhPerUnit)/float64(opt.WearAhPerUnit) - 1
+	return math.Min(imp, 3)
+}
+
+// microSuiteTable renders one of Figs 17–19: a per-kernel improvement of
+// the chosen metric at both solar levels, plus the average.
+func microSuiteTable(id, title string, metric func(opt, base sim.Result) float64) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"benchmark", "high solar generation", "low solar generation"},
+	}
+	traces := []*trace.Trace{trace.HighGeneration(), trace.LowGeneration()}
+	var sums [2]float64
+	suite := workload.MicroSuite()
+	for _, spec := range suite {
+		row := []string{spec.Name}
+		for ti, tr := range traces {
+			opt, base := microPair(spec, tr)
+			imp := metric(opt, base)
+			sums[ti] += imp
+			row = append(row, pct(imp))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Rows = append(t.Rows, []string{"avg.",
+		pct(sums[0] / float64(len(suite))),
+		pct(sums[1] / float64(len(suite))),
+	})
+	return t
+}
+
+// Fig17 regenerates the in-situ service availability improvements.
+func Fig17() *Table {
+	t := microSuiteTable("fig17", "In-situ service availability improvement (InSURE vs baseline)",
+		func(opt, base sim.Result) float64 {
+			return metrics.Improvement(opt.UptimeFrac, base.UptimeFrac)
+		})
+	t.Notes = append(t.Notes, "paper: 41% average under high solar, 51% under low solar")
+	return t
+}
+
+// Fig18 regenerates the e-Buffer energy availability improvements.
+func Fig18() *Table {
+	t := microSuiteTable("fig18", "e-Buffer energy availability improvement (InSURE vs baseline)",
+		func(opt, base sim.Result) float64 {
+			return metrics.Improvement(float64(opt.EnergyAvail), float64(base.EnergyAvail))
+		})
+	t.Notes = append(t.Notes, "paper: ~41% more stored energy on average")
+	return t
+}
+
+// Fig19 regenerates the expected e-Buffer service-life improvements.
+func Fig19() *Table {
+	t := microSuiteTable("fig19", "Expected e-Buffer service life improvement (InSURE vs baseline)",
+		func(opt, base sim.Result) float64 { return lifeImprovement(opt, base) })
+	t.Notes = append(t.Notes, "paper: 21~24% (improvements capped at +300% where the baseline wear explodes)")
+	return t
+}
+
+// fullSystemTable renders Fig 20 or 21: the six metric improvements at the
+// two capped solar budgets.
+func fullSystemTable(id, title string, mk func() sim.Sink) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"metric", "high solar generation (1000W)", "low solar generation (500W)"},
+	}
+	type m struct {
+		name string
+		imp  func(opt, base sim.Result) float64
+	}
+	ms := []m{
+		{"System Uptime", func(o, b sim.Result) float64 { return metrics.Improvement(o.UptimeFrac, b.UptimeFrac) }},
+		{"Load Perf.", func(o, b sim.Result) float64 { return metrics.Improvement(o.Throughput, b.Throughput) }},
+		{"Avg. Latency", func(o, b sim.Result) float64 { return metrics.ReductionImprovement(o.DelayMin, b.DelayMin) }},
+		{"e-Buffer Avail.", func(o, b sim.Result) float64 {
+			return metrics.Improvement(float64(o.EnergyAvail), float64(b.EnergyAvail))
+		}},
+		{"Service Life", lifeImprovement},
+		{"Perf. Per Ah", func(o, b sim.Result) float64 {
+			return math.Min(metrics.Improvement(o.PerfPerAh, b.PerfPerAh), 3)
+		}},
+	}
+	optHigh, baseHigh := comparePair(trace.FullSystemHigh(), mk)
+	optLow, baseLow := comparePair(trace.FullSystemLow(), mk)
+	for _, mm := range ms {
+		t.Rows = append(t.Rows, []string{
+			mm.name,
+			pct(mm.imp(optHigh, baseHigh)),
+			pct(mm.imp(optLow, baseLow)),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: 20% to over 60% improvements across metrics (capped at +300%)")
+	return t
+}
+
+// Fig20 regenerates the in-situ batch job (seismic) full-system results.
+func Fig20() *Table {
+	return fullSystemTable("fig20", "Full-system results: in-situ batch job (seismic)",
+		func() sim.Sink { return sim.NewSeismicSink() })
+}
+
+// Fig21 regenerates the in-situ data stream (video) full-system results.
+func Fig21() *Table {
+	return fullSystemTable("fig21", "Full-system results: in-situ data stream (video surveillance)",
+		func() sim.Sink { return sim.NewVideoSink() })
+}

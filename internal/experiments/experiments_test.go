@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(strings.TrimPrefix(cell, "+"), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse percentage %q: %v", cell, err)
+	}
+	return v
+}
+
+func parseF(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.Fields(cell)[0], 64)
+	if err != nil {
+		t.Fatalf("cannot parse number %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestRegistryRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("running all experiments is slow")
+	}
+	for _, id := range IDs() {
+		tbl, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if tbl.ID != id {
+			t.Errorf("%s: table reports ID %q", id, tbl.ID)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: no rows", id)
+		}
+		var buf bytes.Buffer
+		if err := tbl.Render(&buf); err != nil {
+			t.Errorf("%s: render: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), strings.ToUpper(id)) {
+			t.Errorf("%s: render missing header", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tbl := Table2()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// 8VM row: ~1397 W, ~57% availability, ~14 GB/h.
+	p8 := parseF(t, tbl.Rows[0][1])
+	if p8 < 1350 || p8 < 0 || p8 > 1450 {
+		t.Errorf("8VM power = %v", p8)
+	}
+	thpt8 := parseF(t, tbl.Rows[0][3])
+	thpt4 := parseF(t, tbl.Rows[1][3])
+	if thpt4 <= thpt8 {
+		t.Errorf("Table 2 inversion missing: 4VM %.1f should beat 8VM %.1f", thpt4, thpt8)
+	}
+	if thpt8 < 12 || thpt8 > 16 {
+		t.Errorf("8VM throughput = %.1f, want ~14", thpt8)
+	}
+	if thpt4 < 15 || thpt4 > 18 {
+		t.Errorf("4VM throughput = %.1f, want ~16.5", thpt4)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tbl := Table3()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Throughput decreases and delay increases as VMs shrink.
+	prevRate, prevDelay := 1e9, -1.0
+	for _, row := range tbl.Rows {
+		rate := parseF(t, row[3])
+		if rate >= prevRate {
+			t.Errorf("throughput not decreasing: %v", row)
+		}
+		prevRate = rate
+		delay := 0.0
+		if !strings.HasPrefix(row[2], "0 ") {
+			delay = parseF(t, row[2])
+		}
+		if delay < prevDelay {
+			t.Errorf("delay not increasing: %v", row)
+		}
+		prevDelay = delay
+	}
+	// 8VM keeps up exactly.
+	if got := parseF(t, tbl.Rows[0][3]); got < 0.20 || got > 0.22 {
+		t.Errorf("8VM rate = %v GB/min, want 0.21", got)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six full-day runs")
+	}
+	tbl := Table6()
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 days × 2 schemes)", len(tbl.Rows))
+	}
+	// Across the day pairs: Opt keeps battery-voltage stddev below No-Opt
+	// (the paper's 12% contrast) on most days, and always runs fewer
+	// on/off cycles. Individual cloudy days are seed-sensitive.
+	sdWins := 0
+	for i := 0; i < 6; i += 2 {
+		nonOpt, opt := tbl.Rows[i], tbl.Rows[i+1]
+		if nonOpt[1] != "Non-Opt." || opt[1] != "Opt." {
+			t.Fatalf("row order wrong: %v / %v", nonOpt[1], opt[1])
+		}
+		if parseF(t, opt[9]) < parseF(t, nonOpt[9]) {
+			sdWins++
+		}
+		cycNon := parseF(t, nonOpt[5])
+		cycOpt := parseF(t, opt[5])
+		if cycOpt >= cycNon {
+			t.Errorf("%s: Opt on/off cycles %v not below Non-Opt %v", nonOpt[0], cycOpt, cycNon)
+		}
+	}
+	if sdWins < 2 {
+		t.Errorf("Opt voltage stddev lower on only %d of 3 days", sdWins)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	tbl := Table7()
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Each kernel appears with both server types.
+	servers := map[string]int{}
+	for _, row := range tbl.Rows {
+		servers[row[2]]++
+	}
+	if servers["Xeon 3.2G"] != 3 || servers["Core i7"] != 3 {
+		t.Errorf("server coverage wrong: %v", servers)
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	tbl := Fig4a()
+	seq := parseF(t, tbl.Rows[0][1])
+	batch := parseF(t, tbl.Rows[1][1])
+	if seq >= batch {
+		t.Errorf("individual charging (%.1f h) not faster than batch (%.1f h)", seq, batch)
+	}
+	if saving := 1 - seq/batch; saving < 0.2 {
+		t.Errorf("charging saving %.0f%% too small (paper ~50%%)", saving*100)
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	tbl := Fig4b()
+	vHigh := parseF(t, tbl.Rows[0][1])
+	vLow := parseF(t, tbl.Rows[1][1])
+	if vHigh >= vLow {
+		t.Errorf("high-load voltage %.2f not below low-load %.2f", vHigh, vLow)
+	}
+	atSwitch := parseF(t, tbl.Rows[0][2])
+	afterRest := parseF(t, tbl.Rows[0][3])
+	if afterRest <= atSwitch {
+		t.Errorf("no recovery: %.2f -> %.2f", atSwitch, afterRest)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-day run")
+	}
+	tbl := Fig5()
+	if tbl.Rows[0][1] == "never" {
+		t.Error("unified buffer never switched out under seismic stress")
+	}
+}
+
+func TestFig14aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("half-day run")
+	}
+	tbl := Fig14a()
+	// Unit 1 (lowest SoC) must be charged no later than unit 3.
+	if tbl.Rows[0][2] == "never" {
+		t.Fatal("lowest-SoC unit never charged")
+	}
+	if tbl.Rows[0][2] > tbl.Rows[2][2] && tbl.Rows[2][2] != "never" {
+		t.Errorf("low-SoC unit charged at %s, after a fuller unit at %s", tbl.Rows[0][2], tbl.Rows[2][2])
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	tbl := Fig15()
+	hi := parseF(t, tbl.Rows[0][1])
+	lo := parseF(t, tbl.Rows[1][1])
+	if hi < 1000 || hi > 1250 {
+		t.Errorf("high trace average %v, want ~1114", hi)
+	}
+	if lo < 380 || lo > 480 {
+		t.Errorf("low trace average %v, want ~427", lo)
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24 full-day runs")
+	}
+	tbl := Fig17()
+	if len(tbl.Rows) != 7 { // 6 kernels + average
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	avg := tbl.Rows[6]
+	high := parsePct(t, avg[1])
+	low := parsePct(t, avg[2])
+	if high < 15 {
+		t.Errorf("high-solar availability improvement %v%%, want the paper's ~41%% regime", high)
+	}
+	if low <= 0 {
+		t.Errorf("low-solar availability improvement %v%% not positive", low)
+	}
+	// The paper's observation: the benefit grows when energy-constrained.
+	if low <= high {
+		t.Errorf("low-solar improvement (%v%%) should exceed high-solar (%v%%)", low, high)
+	}
+}
+
+func TestFig20Fig21Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8 full-day runs")
+	}
+	for _, tbl := range []*Table{Fig20(), Fig21()} {
+		if len(tbl.Rows) != 6 {
+			t.Fatalf("%s: rows = %d", tbl.ID, len(tbl.Rows))
+		}
+		for _, row := range tbl.Rows {
+			v := parsePct(t, row[1])
+			switch row[0] {
+			case "System Uptime", "Load Perf.", "Service Life", "Perf. Per Ah":
+				if v <= 0 {
+					t.Errorf("%s %s high-solar improvement %v%% not positive", tbl.ID, row[0], v)
+				}
+			}
+		}
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		ID:     "test",
+		Title:  "alignment",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"xxxxx", "y"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "note: a note") {
+		t.Error("note missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("output too short: %q", out)
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		ID:     "figx",
+		Title:  "sample",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "with|pipe"}, {"2", "plain"}},
+		Notes:  []string{"a note"},
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "# figx") {
+		t.Errorf("title row = %q", lines[0])
+	}
+	if lines[1] != "a,b" {
+		t.Errorf("header row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[4], "# note:") {
+		t.Errorf("note row = %q", lines[4])
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## FIGX — sample") {
+		t.Errorf("missing heading:\n%s", out)
+	}
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "| --- | --- |") {
+		t.Errorf("missing table structure:\n%s", out)
+	}
+	if !strings.Contains(out, "with\\|pipe") {
+		t.Errorf("pipe not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "> a note") {
+		t.Errorf("note missing:\n%s", out)
+	}
+}
+
+func TestRenderAs(t *testing.T) {
+	tbl := sampleTable()
+	for _, f := range []string{"", "text", "csv", "markdown", "md"} {
+		var buf bytes.Buffer
+		if err := tbl.RenderAs(&buf, f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %q produced nothing", f)
+		}
+	}
+	if err := tbl.RenderAs(&bytes.Buffer{}, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"insure/internal/baseline"
+	"insure/internal/core"
+	"insure/internal/server"
+	"insure/internal/sim"
+	"insure/internal/solar"
+	"insure/internal/trace"
+	"insure/internal/units"
+	"insure/internal/workload"
+)
+
+func init() {
+	register("table2", Table2)
+	register("table3", Table3)
+	register("table6", Table6)
+	register("table7", Table7)
+}
+
+// estClusterPower evaluates the server model's draw at n VMs (2 VMs/node).
+func estClusterPower(prof server.Profile, util float64, n int) units.Watt {
+	node := server.NewNode(prof)
+	node.PowerOn()
+	for i := 0; i < 20; i++ {
+		node.Step(time.Minute)
+	}
+	node.SetUtil(util)
+	full := n / prof.VMSlots
+	rem := n % prof.VMSlots
+	node.SetActiveVMs(prof.VMSlots)
+	p := units.Watt(float64(full) * float64(node.Power()))
+	if rem > 0 {
+		node.SetActiveVMs(rem)
+		p += node.Power()
+	}
+	return p
+}
+
+// Table2 reproduces the seismic VM-scaling study: both configurations get
+// the same 2 kWh energy budget inside a fixed experiment window; the large
+// configuration exhausts its budget early (57% availability) and ends up
+// with lower delivered throughput.
+func Table2() *Table {
+	const budgetKWh = 2.0
+	const windowH = 2.5
+	spec := workload.Seismic()
+	prof := server.Xeon()
+	t := &Table{
+		ID:     "table2",
+		Title:  "Seismic data analysis throughput at equal 2 kWh energy budget",
+		Header: []string{"compute capability", "avg pwr (W)", "availability", "throughput (GB/h)"},
+	}
+	for _, n := range []int{8, 4} {
+		p := float64(estClusterPower(prof, spec.Util, n))
+		runHours := budgetKWh * 1000 / p
+		avail := runHours / windowH
+		if avail > 1 {
+			avail = 1
+		}
+		thpt := spec.Rate(n, 1) * avail
+		label := fmt.Sprintf("%dVM", n)
+		if n == 8 {
+			label += " (High)"
+		} else {
+			label += " (Low)"
+		}
+		availStr := fmt.Sprintf("%.0f%%", avail*100)
+		if avail >= 1 {
+			availStr += " (Better)"
+		}
+		t.Rows = append(t.Rows, []string{label, f0(p), availStr, f1(thpt)})
+	}
+	t.Notes = append(t.Notes, "paper: 8VM 1397 W / 57% / 14.0 GB/h; 4VM 696 W / 100% / 16.5 GB/h")
+	return t
+}
+
+// Table3 reproduces the video VM-scaling study: throughput and service
+// delay per one-minute job window at each VM count.
+func Table3() *Table {
+	spec := workload.Video()
+	prof := server.Xeon()
+	t := &Table{
+		ID:     "table3",
+		Title:  "Hadoop video analysis at equal 2 kWh energy budget",
+		Header: []string{"compute capability", "avg pwr (W)", "delay (minute)", "throughput (GB/min)"},
+	}
+	full := spec.Rate(8, 1) / 60 // GB/min at full strength
+	for _, n := range []int{8, 6, 4, 2} {
+		p := float64(estClusterPower(prof, spec.Util, n))
+		rate := spec.Rate(n, 1) / 60
+		delay := 0.0
+		if rate > 0 && rate < full {
+			// A one-minute window of data takes window·full/rate minutes
+			// to process; the excess is the per-job delay.
+			delay = full/rate - 1
+		}
+		label := fmt.Sprintf("%dVM", n)
+		switch n {
+		case 8:
+			label += " (High)"
+		case 2:
+			label += " (Low)"
+		}
+		delayStr := f2(delay)
+		if delay == 0 {
+			delayStr = "0 (Better)"
+		}
+		t.Rows = append(t.Rows, []string{label, f0(p), delayStr, f2(rate)})
+	}
+	t.Notes = append(t.Notes, "paper: 8VM 1411 W/0 min/0.21; 6VM 1050/0.25/0.17; 4VM 686/0.5/0.10; 2VM 335/1.5/0.07")
+	return t
+}
+
+// Table6 reproduces the day-long operating-log statistics for the
+// spatio-temporal optimisation (Opt) versus aggressive buffer use (No-Opt)
+// across the three weather scenarios.
+func Table6() *Table {
+	t := &Table{
+		ID:    "table6",
+		Title: "Day-long log statistics, Opt (InSURE) vs No-Opt (baseline)",
+		Header: []string{"day", "scheme", "load kWh", "eff kWh", "pwr ctrl", "on/off", "VM ctrl",
+			"min V", "end V", "V stddev"},
+	}
+	days := []struct {
+		name string
+		cond solar.Condition
+	}{
+		{"Sunny (7.9 kWh)", solar.Sunny},
+		{"Cloudy (5.9 kWh)", solar.Cloudy},
+		{"Rainy (3.0 kWh)", solar.Rainy},
+	}
+	for _, d := range days {
+		tr := trace.Table6Day(d.cond, 77)
+		for _, opt := range []bool{false, true} {
+			cfg := sim.DefaultConfig(tr)
+			sys, err := sim.New(cfg, sim.NewSeismicSink())
+			if err != nil {
+				panic(err)
+			}
+			var res sim.Result
+			scheme := "Non-Opt."
+			if opt {
+				res = sys.Run(core.New(core.DefaultConfig(), cfg.BatteryCount))
+				scheme = "Opt."
+			} else {
+				res = sys.Run(baseline.New(baseline.DefaultConfig()))
+			}
+			t.Rows = append(t.Rows, []string{
+				d.name, scheme,
+				f1(res.LoadKWh), f1(res.EffectiveKWh),
+				fmt.Sprintf("%d", res.PowerOps),
+				fmt.Sprintf("%d", res.OnOffCycles),
+				fmt.Sprintf("%d", res.VMOps),
+				f1(float64(res.MinVolt)), f1(float64(res.EndVolt)),
+				f2(res.VoltStdDev),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the paper reports per-12V-pair voltages around 23-25 V; we report per-unit (12 V) statistics",
+		"paper's key contrast: Opt runs far more control actions and keeps battery-voltage stddev ~12% lower")
+	return t
+}
+
+// Table7 reproduces the legacy-vs-low-power server comparison.
+func Table7() *Table {
+	t := &Table{
+		ID:     "table7",
+		Title:  "Legacy high-performance node vs low-power node",
+		Header: []string{"workload", "data size", "server type", "exe. time", "avg power", "data per kWh"},
+	}
+	for _, p := range workload.Table7Profiles() {
+		size := fmt.Sprintf("%.1fG", p.InputGB)
+		if p.InputGB < 0.1 {
+			size = fmt.Sprintf("%.1fM", p.InputGB*1000)
+		}
+		perKWh := fmt.Sprintf("%.0fG/kWh", p.DataPerKWh())
+		if p.DataPerKWh() > 1000 {
+			perKWh = fmt.Sprintf("%.1fT/kWh", p.DataPerKWh()/1000)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Workload, size, p.Server,
+			fmt.Sprintf("%.1fs", p.ExecTime.Seconds()),
+			fmt.Sprintf("%.0fW", float64(p.AvgPower)),
+			perKWh,
+		})
+	}
+	t.Notes = append(t.Notes, "paper: low-power nodes improve data-per-energy by 5x~15x")
+	return t
+}

@@ -1,0 +1,172 @@
+// Package genset models on-site fuel-based generators: the diesel
+// generator and fuel cell the paper evaluates as alternatives (Table 1,
+// Fig 3b) and the optional secondary power feed of the InSURE architecture
+// (Fig 6: "Secondary Power — Backup (if available)", Fig 7's "S" flows).
+//
+// The models capture what matters for power management and cost: start-up
+// delay, minimum-load fuel burn (a Willans-line fuel curve for the diesel),
+// run-hour wear, and per-kWh fuel cost.
+package genset
+
+import (
+	"fmt"
+	"time"
+
+	"insure/internal/units"
+)
+
+// Kind selects the generator technology.
+type Kind int
+
+const (
+	Diesel Kind = iota
+	FuelCell
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Diesel:
+		return "diesel"
+	case FuelCell:
+		return "fuel-cell"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Params configures a generator.
+type Params struct {
+	Kind  Kind
+	Rated units.Watt
+	// StartDelay is the time from a start command to usable output
+	// (seconds for a diesel, minutes for a fuel-cell stack to warm).
+	StartDelay time.Duration
+	// MinLoadFrac is the lowest fraction of rated output the machine
+	// tolerates; below it the governor holds MinLoadFrac and the surplus
+	// is wasted (diesels wet-stack below ~30%).
+	MinLoadFrac float64
+	// IdleFuelPerHour and FuelPerKWh define the Willans-line fuel model:
+	// burn = Idle + FuelPerKWh × energy. Units are dollars directly (the
+	// cost package's $/kWh figures fold fuel price in).
+	IdleFuelPerHour float64 // $/h while running, regardless of load
+	FuelPerKWh      float64 // $/kWh of delivered energy
+	// MaintenanceInterval is the run-hour budget between services.
+	MaintenanceInterval time.Duration
+}
+
+// DieselParams sizes a diesel backup for the 1.6 kW prototype (Table 1:
+// $0.40/kWh all-in; ~15% of that burns as idle/no-load loss).
+func DieselParams() Params {
+	return Params{
+		Kind:                Diesel,
+		Rated:               2000,
+		StartDelay:          15 * time.Second,
+		MinLoadFrac:         0.30,
+		IdleFuelPerHour:     0.12,
+		FuelPerKWh:          0.40,
+		MaintenanceInterval: 200 * time.Hour,
+	}
+}
+
+// FuelCellParams sizes a fuel-cell backup (Table 1: $0.16/kWh on natural
+// gas; long warm-up, happy at partial load).
+func FuelCellParams() Params {
+	return Params{
+		Kind:                FuelCell,
+		Rated:               1600,
+		StartDelay:          5 * time.Minute,
+		MinLoadFrac:         0.05,
+		IdleFuelPerHour:     0.05,
+		FuelPerKWh:          0.16,
+		MaintenanceInterval: 2000 * time.Hour,
+	}
+}
+
+// Generator is one running instance.
+type Generator struct {
+	p Params
+
+	running    bool
+	warmingFor time.Duration
+
+	starts    int
+	runTime   time.Duration
+	delivered units.WattHour
+	fuelCost  float64
+}
+
+// New returns a stopped generator.
+func New(p Params) *Generator { return &Generator{p: p} }
+
+// Params returns the configuration.
+func (g *Generator) Params() Params { return g.p }
+
+// Start commands the generator on; output becomes available after the
+// start delay. Starting an already-running generator is a no-op.
+func (g *Generator) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.warmingFor = g.p.StartDelay
+	g.starts++
+}
+
+// Stop commands the generator off immediately.
+func (g *Generator) Stop() { g.running = false }
+
+// Running reports whether the machine is on (possibly still warming up).
+func (g *Generator) Running() bool { return g.running }
+
+// Available reports whether output can be drawn right now.
+func (g *Generator) Available() bool { return g.running && g.warmingFor <= 0 }
+
+// Starts counts lifetime start commands (each stresses the machine).
+func (g *Generator) Starts() int { return g.starts }
+
+// RunTime is the cumulative running time.
+func (g *Generator) RunTime() time.Duration { return g.runTime }
+
+// Delivered is the cumulative energy produced.
+func (g *Generator) Delivered() units.WattHour { return g.delivered }
+
+// FuelCost is the cumulative fuel spend in dollars.
+func (g *Generator) FuelCost() float64 { return g.fuelCost }
+
+// ServiceDue reports whether the run-hour maintenance budget is exhausted.
+func (g *Generator) ServiceDue() bool {
+	return g.p.MaintenanceInterval > 0 && g.runTime >= g.p.MaintenanceInterval
+}
+
+// Step runs the generator for dt against the requested demand and returns
+// the power actually delivered. While warming up it burns idle fuel but
+// delivers nothing.
+func (g *Generator) Step(demand units.Watt, dt time.Duration) units.Watt {
+	if !g.running {
+		return 0
+	}
+	g.runTime += dt
+	g.fuelCost += g.p.IdleFuelPerHour * dt.Hours()
+	if g.warmingFor > 0 {
+		g.warmingFor -= dt
+		return 0
+	}
+	if demand < 0 {
+		demand = 0
+	}
+	out := demand
+	if out > g.p.Rated {
+		out = g.p.Rated
+	}
+	// The governor will not run below minimum load; the engine makes
+	// MinLoadFrac×Rated and the balance is dumped.
+	min := units.Watt(g.p.MinLoadFrac * float64(g.p.Rated))
+	burnFor := out
+	if burnFor < min {
+		burnFor = min
+	}
+	e := units.Energy(burnFor, dt)
+	g.fuelCost += g.p.FuelPerKWh * e.KWh()
+	g.delivered += units.Energy(out, dt)
+	return out
+}

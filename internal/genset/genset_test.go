@@ -1,0 +1,134 @@
+package genset
+
+import (
+	"testing"
+	"time"
+
+	"insure/internal/units"
+)
+
+func TestKindString(t *testing.T) {
+	if Diesel.String() != "diesel" || FuelCell.String() != "fuel-cell" {
+		t.Error("kind names wrong")
+	}
+	if Kind(7).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestStoppedDeliversNothing(t *testing.T) {
+	g := New(DieselParams())
+	if got := g.Step(500, time.Second); got != 0 {
+		t.Errorf("stopped generator delivered %v", got)
+	}
+	if g.FuelCost() != 0 {
+		t.Error("stopped generator burned fuel")
+	}
+}
+
+func TestStartDelay(t *testing.T) {
+	g := New(DieselParams())
+	g.Start()
+	if g.Available() {
+		t.Error("diesel available instantly")
+	}
+	if got := g.Step(500, 5*time.Second); got != 0 {
+		t.Errorf("delivered %v while warming", got)
+	}
+	g.Step(500, 15*time.Second)
+	if got := g.Step(500, time.Second); got != 500 {
+		t.Errorf("post-warmup delivery = %v, want 500", got)
+	}
+	if !g.Available() {
+		t.Error("not available after warmup")
+	}
+}
+
+func TestDoubleStartIsOneStart(t *testing.T) {
+	g := New(DieselParams())
+	g.Start()
+	g.Start()
+	if g.Starts() != 1 {
+		t.Errorf("starts = %d", g.Starts())
+	}
+	g.Stop()
+	g.Start()
+	if g.Starts() != 2 {
+		t.Errorf("starts after restart = %d", g.Starts())
+	}
+}
+
+func TestOutputCappedAtRated(t *testing.T) {
+	g := New(DieselParams())
+	g.Start()
+	g.Step(0, time.Minute) // warm up
+	if got := g.Step(99999, time.Second); got != g.Params().Rated {
+		t.Errorf("output %v, want rated %v", got, g.Params().Rated)
+	}
+	if got := g.Step(-5, time.Second); got != 0 {
+		t.Errorf("negative demand delivered %v", got)
+	}
+}
+
+func TestMinLoadFuelBurn(t *testing.T) {
+	// Running a diesel at 5% load must burn fuel as if at 30% (wet
+	// stacking floor), so $/kWh-delivered degrades at light load.
+	g := New(DieselParams())
+	g.Start()
+	g.Step(0, time.Minute)
+	baseFuel := g.FuelCost()
+	light := units.Watt(0.05 * float64(g.Params().Rated))
+	for i := 0; i < 3600; i++ {
+		g.Step(light, time.Second)
+	}
+	fuel := g.FuelCost() - baseFuel
+	delivered := units.Energy(light, time.Hour)
+	perKWh := fuel / delivered.KWh()
+	if perKWh < 2*g.Params().FuelPerKWh {
+		t.Errorf("light-load $/kWh = %.2f, want well above the rated %.2f", perKWh, g.Params().FuelPerKWh)
+	}
+}
+
+func TestFuelCellCheaperPerKWh(t *testing.T) {
+	run := func(p Params) float64 {
+		g := New(p)
+		g.Start()
+		g.Step(0, 10*time.Minute) // cover both warmups
+		for i := 0; i < 3600; i++ {
+			g.Step(1000, time.Second)
+		}
+		return g.FuelCost() / g.Delivered().KWh()
+	}
+	if d, fc := run(DieselParams()), run(FuelCellParams()); fc >= d {
+		t.Errorf("fuel cell $/kWh (%.2f) not below diesel (%.2f) — Table 1 contrast", fc, d)
+	}
+}
+
+func TestRunTimeAndService(t *testing.T) {
+	p := DieselParams()
+	p.MaintenanceInterval = time.Hour
+	g := New(p)
+	g.Start()
+	for i := 0; i < 3601; i++ {
+		g.Step(500, time.Second)
+	}
+	if !g.ServiceDue() {
+		t.Error("service not due after exceeding the interval")
+	}
+	if g.RunTime() < time.Hour {
+		t.Errorf("run time = %v", g.RunTime())
+	}
+}
+
+func TestStopCutsOutput(t *testing.T) {
+	g := New(FuelCellParams())
+	g.Start()
+	g.Step(0, 10*time.Minute)
+	if g.Step(800, time.Second) != 800 {
+		t.Fatal("warm fuel cell should deliver")
+	}
+	g.Stop()
+	if g.Step(800, time.Second) != 0 {
+		t.Error("stopped generator still delivering")
+	}
+}

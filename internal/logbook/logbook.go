@@ -1,0 +1,167 @@
+// Package logbook records the operational events of an InSURE deployment —
+// the "various log data" the prototype's management platform collects
+// automatically (§5) and that §6.2 analyses (power-control actions, server
+// on/off cycles, VM operations, battery mode changes, emergencies).
+//
+// Events are typed, timestamped with simulation time, and can be rendered
+// as text or CSV for offline analysis.
+package logbook
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Class categorises an event.
+type Class int
+
+const (
+	// Info is general operational narration.
+	Info Class = iota
+	// Power covers supply-side actions: relay switching, charge batches,
+	// generator starts/stops.
+	Power
+	// Load covers demand-side actions: VM reallocation, duty changes,
+	// server power cycles.
+	Load
+	// Emergency covers brownouts, protection trips, forced shutdowns.
+	Emergency
+)
+
+func (c Class) String() string {
+	switch c {
+	case Info:
+		return "info"
+	case Power:
+		return "power"
+	case Load:
+		return "load"
+	case Emergency:
+		return "emergency"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Event is one logged occurrence.
+type Event struct {
+	At      time.Duration // simulation time-of-day
+	Class   Class
+	Subject string // component, e.g. "battery#3", "cluster", "genset"
+	Detail  string
+}
+
+// Book is an in-memory event log. It is safe for concurrent use (the PLC
+// scan loop and the coordinator log from different goroutines in the
+// daemon).
+type Book struct {
+	mu     sync.Mutex
+	events []Event
+	// Cap bounds memory for long runs; 0 means unbounded. When full, the
+	// oldest events are dropped.
+	Cap int
+}
+
+// New returns an empty logbook bounded to cap events (0 = unbounded).
+func New(cap int) *Book { return &Book{Cap: cap} }
+
+// Add records an event.
+func (b *Book) Add(at time.Duration, class Class, subject, detail string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = append(b.events, Event{At: at, Class: class, Subject: subject, Detail: detail})
+	if b.Cap > 0 && len(b.events) > b.Cap {
+		drop := len(b.events) - b.Cap
+		b.events = append(b.events[:0], b.events[drop:]...)
+	}
+}
+
+// Addf records a formatted event.
+func (b *Book) Addf(at time.Duration, class Class, subject, format string, args ...any) {
+	b.Add(at, class, subject, fmt.Sprintf(format, args...))
+}
+
+// Len returns the number of retained events.
+func (b *Book) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Events returns a copy of the retained events in order.
+func (b *Book) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}
+
+// CountByClass tallies events per class.
+func (b *Book) CountByClass() map[Class]int {
+	out := map[Class]int{}
+	for _, e := range b.Events() {
+		out[e.Class]++
+	}
+	return out
+}
+
+// Filter returns the events of one class.
+func (b *Book) Filter(class Class) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if e.Class == class {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Subjects returns the distinct subjects seen, sorted.
+func (b *Book) Subjects() []string {
+	set := map[string]bool{}
+	for _, e := range b.Events() {
+		set[e.Subject] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteText renders the log as human-readable lines.
+func (b *Book) WriteText(w io.Writer) error {
+	for _, e := range b.Events() {
+		_, err := fmt.Fprintf(w, "%02d:%02d:%02d %-9s %-12s %s\n",
+			int(e.At.Hours()), int(e.At.Minutes())%60, int(e.At.Seconds())%60,
+			e.Class, e.Subject, e.Detail)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the log as CSV with a header row.
+func (b *Book) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seconds", "class", "subject", "detail"}); err != nil {
+		return err
+	}
+	for _, e := range b.Events() {
+		rec := []string{
+			strconv.FormatInt(int64(e.At/time.Second), 10),
+			e.Class.String(), e.Subject, e.Detail,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,105 @@
+package logbook
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndQuery(t *testing.T) {
+	b := New(0)
+	b.Add(8*time.Hour, Power, "battery#1", "charging relay closed")
+	b.Addf(9*time.Hour, Load, "cluster", "target %d VMs", 4)
+	b.Add(10*time.Hour, Emergency, "bus", "brownout")
+	if b.Len() != 3 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	counts := b.CountByClass()
+	if counts[Power] != 1 || counts[Load] != 1 || counts[Emergency] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if got := b.Filter(Emergency); len(got) != 1 || got[0].Subject != "bus" {
+		t.Errorf("filter = %v", got)
+	}
+	subjects := b.Subjects()
+	if len(subjects) != 3 || subjects[0] != "battery#1" {
+		t.Errorf("subjects = %v", subjects)
+	}
+}
+
+func TestCapDropsOldest(t *testing.T) {
+	b := New(3)
+	for i := 0; i < 5; i++ {
+		b.Addf(time.Duration(i)*time.Minute, Info, "x", "event %d", i)
+	}
+	evs := b.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	if !strings.Contains(evs[0].Detail, "2") {
+		t.Errorf("oldest retained = %q, want event 2", evs[0].Detail)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	b := New(0)
+	b.Add(13*time.Hour+5*time.Minute+9*time.Second, Power, "battery#2", "discharge relay closed")
+	var buf bytes.Buffer
+	if err := b.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "13:05:09") || !strings.Contains(out, "battery#2") {
+		t.Errorf("text output %q", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	b := New(0)
+	b.Add(time.Hour, Load, "cluster", "duty 0.8")
+	var buf bytes.Buffer
+	if err := b.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "seconds,class,subject,detail" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "3600,load,cluster") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	b := New(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Addf(time.Duration(i)*time.Second, Class(g%4), "worker", "n=%d", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Len() != 1600 {
+		t.Errorf("len = %d, want 1600", b.Len())
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{Info: "info", Power: "power", Load: "load", Emergency: "emergency"} {
+		if c.String() != want {
+			t.Errorf("class %d = %q", c, c.String())
+		}
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown class should format")
+	}
+}

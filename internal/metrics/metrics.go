@@ -1,0 +1,120 @@
+// Package metrics provides the statistics used throughout the evaluation:
+// running aggregates, standard deviation (Table 6 reports battery-voltage
+// σ), percentiles, and the improvement calculus of Figs 17–21.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Series is a streaming accumulator over float64 observations.
+type Series struct {
+	n          int
+	sum, sumSq float64
+	min, max   float64
+	values     []float64 // retained for percentiles
+	keep       bool
+}
+
+// NewSeries returns an accumulator that retains values for percentiles.
+func NewSeries() *Series { return &Series{keep: true} }
+
+// NewStreamingSeries returns an accumulator that keeps only aggregates
+// (constant memory, no percentiles) for long simulations.
+func NewStreamingSeries() *Series { return &Series{} }
+
+// Add records one observation.
+func (s *Series) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+	if s.keep {
+		s.values = append(s.values, v)
+	}
+}
+
+// Count returns the number of observations.
+func (s *Series) Count() int { return s.n }
+
+// Mean returns the average (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation.
+func (s *Series) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Series) Max() float64 { return s.max }
+
+// StdDev returns the population standard deviation.
+func (s *Series) StdDev() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 {
+		v = 0 // numerical guard
+	}
+	return math.Sqrt(v)
+}
+
+// Percentile returns the p-th percentile (0–100) by nearest-rank on the
+// retained values. It panics if the series was created streaming-only.
+func (s *Series) Percentile(p float64) float64 {
+	if !s.keep {
+		panic("metrics: percentile on streaming series")
+	}
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(s.values))
+	copy(sorted, s.values)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Improvement is the relative gain of optimised over baseline for a
+// higher-is-better metric, as plotted in Figs 17–21: (opt−base)/base.
+func Improvement(opt, base float64) float64 {
+	if base == 0 {
+		if opt == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (opt - base) / base
+}
+
+// ReductionImprovement is the relative gain for a lower-is-better metric
+// (latency): (base−opt)/base.
+func ReductionImprovement(opt, base float64) float64 {
+	if base == 0 {
+		if opt == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return (base - opt) / base
+}

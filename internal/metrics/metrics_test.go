@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries()
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Count() != 8 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := s.StdDev(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewSeries()
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty series aggregates should be zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := NewSeries()
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(99); got != 99 {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+func TestStreamingSeriesPanicsOnPercentile(t *testing.T) {
+	s := NewStreamingSeries()
+	s.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Percentile(50)
+}
+
+func TestStdDevNonNegativeProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		s := NewStreamingSeries()
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				continue
+			}
+			s.Add(v)
+		}
+		sd := s.StdDev()
+		return sd >= 0 && !math.IsNaN(sd)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanBoundedByMinMax(t *testing.T) {
+	f := func(vals []float64) bool {
+		s := NewStreamingSeries()
+		any := false
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				continue
+			}
+			s.Add(v)
+			any = true
+		}
+		if !any {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(150, 100); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("improvement = %v, want 0.5", got)
+	}
+	if got := Improvement(80, 100); math.Abs(got+0.2) > 1e-12 {
+		t.Errorf("regression = %v, want -0.2", got)
+	}
+	if got := Improvement(0, 0); got != 0 {
+		t.Errorf("0/0 improvement = %v", got)
+	}
+	if !math.IsInf(Improvement(1, 0), 1) {
+		t.Error("x/0 should be +Inf")
+	}
+}
+
+func TestReductionImprovement(t *testing.T) {
+	if got := ReductionImprovement(50, 100); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("latency reduction = %v, want 0.5", got)
+	}
+	if got := ReductionImprovement(0, 0); got != 0 {
+		t.Errorf("0/0 reduction = %v", got)
+	}
+}

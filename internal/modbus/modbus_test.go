@@ -1,0 +1,316 @@
+package modbus
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"insure/internal/plc"
+)
+
+func TestADURoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := ADU{Transaction: 0xBEEF, UnitID: 3, PDU: []byte{0x03, 0x00, 0x01, 0x00, 0x02}}
+	if err := WriteADU(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadADU(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Transaction != in.Transaction || out.UnitID != in.UnitID || !bytes.Equal(out.PDU, in.PDU) {
+		t.Errorf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestADURejectsEmptyPDU(t *testing.T) {
+	if err := WriteADU(&bytes.Buffer{}, ADU{}); err == nil {
+		t.Error("empty PDU accepted")
+	}
+}
+
+func TestADUBadProtocol(t *testing.T) {
+	raw := []byte{0, 1, 0, 9, 0, 2, 1, 3}
+	if _, err := ReadADU(bytes.NewReader(raw)); err == nil {
+		t.Error("nonzero protocol id accepted")
+	}
+}
+
+func TestBitPackingRoundTrip(t *testing.T) {
+	f := func(bits []bool) bool {
+		if len(bits) == 0 {
+			return true
+		}
+		got, err := unpackBits(packBits(bits), len(bits))
+		if err != nil {
+			return false
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegPackingRoundTrip(t *testing.T) {
+	f := func(regs []uint16) bool {
+		got, err := unpackRegs(packRegs(regs))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(regs) {
+			return false
+		}
+		for i := range regs {
+			if got[i] != regs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// newPair spins up a server over loopback and returns a connected client.
+func newPair(t *testing.T, regs *plc.RegisterFile) *Client {
+	t.Helper()
+	srv := NewServer(regs)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientServerCoils(t *testing.T) {
+	regs := plc.NewRegisterFile(32, 8, 16, 16)
+	c := newPair(t, regs)
+
+	if err := c.WriteCoil(5, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadCoils(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := i == 5
+		if b != want {
+			t.Errorf("coil %d = %v, want %v", i, b, want)
+		}
+	}
+	// The write must have landed in the shared register file.
+	direct, _ := regs.ReadCoils(5, 1)
+	if !direct[0] {
+		t.Error("write did not reach the register file")
+	}
+}
+
+func TestClientServerRegisters(t *testing.T) {
+	regs := plc.NewRegisterFile(8, 8, 32, 32)
+	c := newPair(t, regs)
+
+	if err := c.WriteRegister(2, 1234); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteRegisters(10, []uint16{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadHolding(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != uint16(i+1) {
+			t.Errorf("holding[%d] = %d", 10+i, v)
+		}
+	}
+	one, err := c.ReadHolding(2, 1)
+	if err != nil || one[0] != 1234 {
+		t.Errorf("single register = %v, %v", one, err)
+	}
+}
+
+func TestClientServerInputAndDiscrete(t *testing.T) {
+	regs := plc.NewRegisterFile(8, 8, 8, 8)
+	_ = regs.SetInput(3, 2222)
+	_ = regs.SetDiscrete(1, true)
+	c := newPair(t, regs)
+
+	in, err := c.ReadInput(3, 1)
+	if err != nil || in[0] != 2222 {
+		t.Errorf("input = %v, %v", in, err)
+	}
+	d, err := c.ReadDiscrete(0, 2)
+	if err != nil || d[0] || !d[1] {
+		t.Errorf("discrete = %v, %v", d, err)
+	}
+}
+
+func TestServerExceptions(t *testing.T) {
+	regs := plc.NewRegisterFile(4, 4, 4, 4)
+	c := newPair(t, regs)
+
+	_, err := c.ReadCoils(100, 4)
+	var ex Exception
+	if !errors.As(err, &ex) || byte(ex) != ExIllegalAddress {
+		t.Errorf("OOB coil read error = %v, want illegal address", err)
+	}
+	if err := c.WriteRegister(99, 1); !errors.As(err, &ex) || byte(ex) != ExIllegalAddress {
+		t.Errorf("OOB register write error = %v", err)
+	}
+	if _, err := c.ReadHolding(0, 0); err == nil {
+		t.Error("zero-count read accepted")
+	}
+}
+
+func TestServerIllegalFunction(t *testing.T) {
+	regs := plc.NewRegisterFile(4, 4, 4, 4)
+	srv := NewServer(regs)
+	resp := srv.handle([]byte{0x2B, 0x00})
+	if len(resp) != 2 || resp[0] != 0x2B|exceptionFlag || resp[1] != ExIllegalFunction {
+		t.Errorf("illegal function response = %v", resp)
+	}
+	if resp := srv.handle(nil); len(resp) != 2 || resp[1] != ExIllegalFunction {
+		t.Errorf("empty PDU response = %v", resp)
+	}
+}
+
+func TestWriteCoilValueValidation(t *testing.T) {
+	regs := plc.NewRegisterFile(4, 4, 4, 4)
+	srv := NewServer(regs)
+	resp := srv.handle([]byte{FuncWriteSingleCoil, 0, 0, 0x12, 0x34})
+	if resp[0] != FuncWriteSingleCoil|exceptionFlag || resp[1] != ExIllegalValue {
+		t.Errorf("bad coil value response = %v", resp)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	regs := plc.NewRegisterFile(64, 8, 64, 64)
+	srv := NewServer(regs)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr.String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				if err := c.WriteRegister(uint16(g), uint16(i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.ReadHolding(0, 8); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestClientWriteRegistersValidation(t *testing.T) {
+	regs := plc.NewRegisterFile(4, 4, 200, 4)
+	c := newPair(t, regs)
+	if err := c.WriteRegisters(0, nil); err == nil {
+		t.Error("empty write accepted")
+	}
+	if err := c.WriteRegisters(0, make([]uint16, 150)); err == nil {
+		t.Error("oversized write accepted")
+	}
+}
+
+func TestExceptionStrings(t *testing.T) {
+	for _, code := range []byte{ExIllegalFunction, ExIllegalAddress, ExIllegalValue, ExServerFailure, 0x7F} {
+		if Exception(code).Error() == "" {
+			t.Errorf("exception %#x has empty message", code)
+		}
+	}
+}
+
+func TestWriteMultipleCoils(t *testing.T) {
+	regs := plc.NewRegisterFile(16, 0, 0, 0)
+	c := newPair(t, regs)
+	if err := c.WriteCoils(2, []bool{true, false, true, true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadCoils(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("coil %d = %v, want %v", 2+i, got[i], want[i])
+		}
+	}
+	// Out-of-range writes must not partially apply.
+	if err := c.WriteCoils(14, []bool{true, true, true, true}); err == nil {
+		t.Error("OOB multi-coil write accepted")
+	}
+	after, _ := c.ReadCoils(14, 2)
+	if after[0] || after[1] {
+		t.Error("partial write leaked after rejected transaction")
+	}
+	if err := c.WriteCoils(0, nil); err == nil {
+		t.Error("empty coil write accepted")
+	}
+}
+
+func TestReadWriteMultipleRegisters(t *testing.T) {
+	regs := plc.NewRegisterFile(0, 0, 32, 0)
+	_ = regs.WriteHolding(0, []uint16{7, 8, 9})
+	c := newPair(t, regs)
+	// Write to 10..11 and read back 0..2 in one transaction.
+	got, err := c.ReadWriteRegisters(0, 3, 10, []uint16{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || got[1] != 8 || got[2] != 9 {
+		t.Errorf("read part = %v", got)
+	}
+	check, _ := c.ReadHolding(10, 2)
+	if check[0] != 100 || check[1] != 200 {
+		t.Errorf("write part = %v", check)
+	}
+	// Write-before-read ordering: overlapping addresses observe the write.
+	got, err = c.ReadWriteRegisters(10, 1, 10, []uint16{4242})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 4242 {
+		t.Errorf("overlapping read = %d, want the freshly written 4242", got[0])
+	}
+	if _, err := c.ReadWriteRegisters(0, 0, 0, []uint16{1}); err == nil {
+		t.Error("zero-count read accepted")
+	}
+	if _, err := c.ReadWriteRegisters(0, 1, 0, nil); err == nil {
+		t.Error("empty write accepted")
+	}
+}

@@ -1,0 +1,282 @@
+package modbus
+
+import (
+	"encoding/binary"
+	"errors"
+	"log"
+	"net"
+	"sync"
+
+	"insure/internal/plc"
+)
+
+// Server serves a PLC register file over Modbus TCP. It is the control
+// panel of the prototype (§4): the bridge between the battery system's PLC
+// and the coordination node.
+type Server struct {
+	regs *plc.RegisterFile
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	// Logf, when set, receives per-connection error diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// NewServer wraps the given register file.
+func NewServer(regs *plc.RegisterFile) *Server {
+	return &Server{regs: regs, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and serves until Close. It returns
+// the bound address for clients to dial.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	go s.acceptLoop(l)
+	return l.Addr(), nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := ReadADU(conn)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && s.Logf != nil && err.Error() != "EOF" {
+				s.Logf("modbus server: read: %v", err)
+			}
+			return
+		}
+		resp := s.handle(req.PDU)
+		if err := WriteADU(conn, ADU{Transaction: req.Transaction, UnitID: req.UnitID, PDU: resp}); err != nil {
+			if s.Logf != nil {
+				s.Logf("modbus server: write: %v", err)
+			}
+			return
+		}
+	}
+}
+
+// Close stops the listener and drops all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+func exception(fn byte, code byte) []byte { return []byte{fn | exceptionFlag, code} }
+
+// handle executes one request PDU against the register file.
+func (s *Server) handle(pdu []byte) []byte {
+	if len(pdu) == 0 {
+		return exception(0, ExIllegalFunction)
+	}
+	fn := pdu[0]
+	body := pdu[1:]
+	switch fn {
+	case FuncReadCoils, FuncReadDiscrete:
+		if len(body) != 4 {
+			return exception(fn, ExIllegalValue)
+		}
+		addr := binary.BigEndian.Uint16(body[0:])
+		count := binary.BigEndian.Uint16(body[2:])
+		if count == 0 || count > MaxCoilsPerRead {
+			return exception(fn, ExIllegalValue)
+		}
+		var bits []bool
+		var err error
+		if fn == FuncReadCoils {
+			bits, err = s.regs.ReadCoils(addr, count)
+		} else {
+			bits, err = s.regs.ReadDiscrete(addr, count)
+		}
+		if err != nil {
+			return exception(fn, ExIllegalAddress)
+		}
+		packed := packBits(bits)
+		return append([]byte{fn, byte(len(packed))}, packed...)
+
+	case FuncReadHolding, FuncReadInput:
+		if len(body) != 4 {
+			return exception(fn, ExIllegalValue)
+		}
+		addr := binary.BigEndian.Uint16(body[0:])
+		count := binary.BigEndian.Uint16(body[2:])
+		if count == 0 || count > MaxRegsPerRead {
+			return exception(fn, ExIllegalValue)
+		}
+		var regs []uint16
+		var err error
+		if fn == FuncReadHolding {
+			regs, err = s.regs.ReadHolding(addr, count)
+		} else {
+			regs, err = s.regs.ReadInput(addr, count)
+		}
+		if err != nil {
+			return exception(fn, ExIllegalAddress)
+		}
+		packed := packRegs(regs)
+		return append([]byte{fn, byte(len(packed))}, packed...)
+
+	case FuncWriteSingleCoil:
+		if len(body) != 4 {
+			return exception(fn, ExIllegalValue)
+		}
+		addr := binary.BigEndian.Uint16(body[0:])
+		val := binary.BigEndian.Uint16(body[2:])
+		if val != 0x0000 && val != 0xFF00 {
+			return exception(fn, ExIllegalValue)
+		}
+		if err := s.regs.WriteCoil(addr, val == 0xFF00); err != nil {
+			return exception(fn, ExIllegalAddress)
+		}
+		return pdu // echo per spec
+
+	case FuncWriteSingleReg:
+		if len(body) != 4 {
+			return exception(fn, ExIllegalValue)
+		}
+		addr := binary.BigEndian.Uint16(body[0:])
+		val := binary.BigEndian.Uint16(body[2:])
+		if err := s.regs.WriteHolding(addr, []uint16{val}); err != nil {
+			return exception(fn, ExIllegalAddress)
+		}
+		return pdu
+
+	case FuncWriteMultipleRegs:
+		if len(body) < 5 {
+			return exception(fn, ExIllegalValue)
+		}
+		addr := binary.BigEndian.Uint16(body[0:])
+		count := binary.BigEndian.Uint16(body[2:])
+		byteCount := int(body[4])
+		if count == 0 || count > MaxRegsPerWrite || byteCount != 2*int(count) || len(body) != 5+byteCount {
+			return exception(fn, ExIllegalValue)
+		}
+		vals, err := unpackRegs(body[5:])
+		if err != nil {
+			return exception(fn, ExIllegalValue)
+		}
+		if err := s.regs.WriteHolding(addr, vals); err != nil {
+			return exception(fn, ExIllegalAddress)
+		}
+		resp := make([]byte, 5)
+		resp[0] = fn
+		binary.BigEndian.PutUint16(resp[1:], addr)
+		binary.BigEndian.PutUint16(resp[3:], count)
+		return resp
+
+	case FuncWriteMultipleCoils:
+		if len(body) < 5 {
+			return exception(fn, ExIllegalValue)
+		}
+		addr := binary.BigEndian.Uint16(body[0:])
+		count := binary.BigEndian.Uint16(body[2:])
+		byteCount := int(body[4])
+		if count == 0 || count > MaxCoilsPerWrite || byteCount != (int(count)+7)/8 || len(body) != 5+byteCount {
+			return exception(fn, ExIllegalValue)
+		}
+		bits, err := unpackBits(body[5:], int(count))
+		if err != nil {
+			return exception(fn, ExIllegalValue)
+		}
+		// Validate the whole range before mutating any coil so a partial
+		// write cannot leave the relay fabric half-switched.
+		if _, err := s.regs.ReadCoils(addr, count); err != nil {
+			return exception(fn, ExIllegalAddress)
+		}
+		for i, b := range bits {
+			if err := s.regs.WriteCoil(addr+uint16(i), b); err != nil {
+				return exception(fn, ExIllegalAddress)
+			}
+		}
+		resp := make([]byte, 5)
+		resp[0] = fn
+		binary.BigEndian.PutUint16(resp[1:], addr)
+		binary.BigEndian.PutUint16(resp[3:], count)
+		return resp
+
+	case FuncReadWriteMultipleRegs:
+		if len(body) < 9 {
+			return exception(fn, ExIllegalValue)
+		}
+		rAddr := binary.BigEndian.Uint16(body[0:])
+		rCount := binary.BigEndian.Uint16(body[2:])
+		wAddr := binary.BigEndian.Uint16(body[4:])
+		wCount := binary.BigEndian.Uint16(body[6:])
+		byteCount := int(body[8])
+		if rCount == 0 || rCount > MaxRegsPerRead || wCount == 0 || wCount > MaxRegsPerWrite ||
+			byteCount != 2*int(wCount) || len(body) != 9+byteCount {
+			return exception(fn, ExIllegalValue)
+		}
+		vals, err := unpackRegs(body[9:])
+		if err != nil {
+			return exception(fn, ExIllegalValue)
+		}
+		// Per the specification the write executes before the read.
+		if err := s.regs.WriteHolding(wAddr, vals); err != nil {
+			return exception(fn, ExIllegalAddress)
+		}
+		regs, err := s.regs.ReadHolding(rAddr, rCount)
+		if err != nil {
+			return exception(fn, ExIllegalAddress)
+		}
+		packed := packRegs(regs)
+		return append([]byte{fn, byte(len(packed))}, packed...)
+
+	default:
+		return exception(fn, ExIllegalFunction)
+	}
+}
+
+// Serve is a convenience for cmd binaries: listen and block forever,
+// logging the bound address.
+func (s *Server) Serve(addr string) error {
+	bound, err := s.Listen(addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("modbus: listening on %s", bound)
+	select {}
+}

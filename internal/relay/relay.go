@@ -1,0 +1,225 @@
+// Package relay models the controllable switch network that makes the
+// InSURE battery array reconfigurable (§3.1, §4).
+//
+// The prototype manages each battery with a pair of IDEC RR2P 24 V DC
+// relays — one charging switch, one discharging switch — driven by the PLC's
+// digital outputs. The relays have a 25 ms switching time and a 10-million
+// cycle mechanical life, both of which we account for because switch-network
+// longevity is part of the design's cost story.
+package relay
+
+import (
+	"fmt"
+	"time"
+)
+
+// SwitchTime is the prototype relay's operate/release time.
+const SwitchTime = 25 * time.Millisecond
+
+// MechanicalLife is the rated number of switching cycles.
+const MechanicalLife = 10_000_000
+
+// Relay is a single electromechanical switch.
+type Relay struct {
+	name    string
+	closed  bool
+	cycles  int64
+	pending time.Duration // time remaining until an in-flight switch settles
+}
+
+// New returns an open relay with the given name.
+func New(name string) *Relay { return &Relay{name: name} }
+
+// Name returns the relay's identifier.
+func (r *Relay) Name() string { return r.name }
+
+// Closed reports whether the contact is (or will settle) closed.
+func (r *Relay) Closed() bool { return r.closed }
+
+// Settled reports whether any in-flight switching has completed.
+func (r *Relay) Settled() bool { return r.pending <= 0 }
+
+// Cycles returns the lifetime operate count.
+func (r *Relay) Cycles() int64 { return r.cycles }
+
+// WearFraction is the consumed fraction of mechanical life.
+func (r *Relay) WearFraction() float64 {
+	return float64(r.cycles) / float64(MechanicalLife)
+}
+
+// Set drives the coil. A state change consumes one mechanical cycle and
+// takes SwitchTime to settle; setting the current state is a no-op.
+func (r *Relay) Set(closed bool) {
+	if r.closed == closed {
+		return
+	}
+	r.closed = closed
+	r.cycles++
+	r.pending = SwitchTime
+}
+
+// Tick advances time for settle accounting.
+func (r *Relay) Tick(dt time.Duration) {
+	if r.pending > 0 {
+		r.pending -= dt
+	}
+}
+
+// Pair is the charge/discharge relay pair guarding one battery unit. The
+// pair enforces the safety interlock: a unit must never be on the charge bus
+// and the discharge bus at once (it would backfeed the PV string).
+type Pair struct {
+	Charge    *Relay
+	Discharge *Relay
+}
+
+// NewPair returns an all-open pair for battery unit i.
+func NewPair(i int) *Pair {
+	return &Pair{
+		Charge:    New(fmt.Sprintf("bat%d-CR", i)),
+		Discharge: New(fmt.Sprintf("bat%d-DR", i)),
+	}
+}
+
+// Mode is the electrical connection state of one battery unit.
+type Mode int
+
+const (
+	Open        Mode = iota // both relays open: Offline/Standby
+	Charging                // charge relay closed
+	Discharging             // discharge relay closed
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Open:
+		return "open"
+	case Charging:
+		return "charging"
+	case Discharging:
+		return "discharging"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// SetMode drives both relays to realise the requested mode, opening before
+// closing so the interlock holds even mid-transition.
+func (p *Pair) SetMode(m Mode) {
+	switch m {
+	case Open:
+		p.Charge.Set(false)
+		p.Discharge.Set(false)
+	case Charging:
+		p.Discharge.Set(false)
+		p.Charge.Set(true)
+	case Discharging:
+		p.Charge.Set(false)
+		p.Discharge.Set(true)
+	}
+}
+
+// Mode reports the pair's present connection state.
+func (p *Pair) Mode() Mode {
+	switch {
+	case p.Charge.Closed() && p.Discharge.Closed():
+		// Unreachable through SetMode; report Open so a wedged fabric
+		// fails safe rather than double-connected.
+		return Open
+	case p.Charge.Closed():
+		return Charging
+	case p.Discharge.Closed():
+		return Discharging
+	default:
+		return Open
+	}
+}
+
+// Tick advances both relays.
+func (p *Pair) Tick(dt time.Duration) {
+	p.Charge.Tick(dt)
+	p.Discharge.Tick(dt)
+}
+
+// Fabric is the whole switch network: one pair per battery unit plus the
+// series/parallel topology switches (P1, P2, P3 in Fig 6).
+type Fabric struct {
+	pairs []*Pair
+
+	// Topology switches: P1/P3 closed + P2 open = parallel;
+	// P1/P3 open + P2 closed = series.
+	P1, P2, P3 *Relay
+}
+
+// NewFabric builds a fabric for n battery units, initially all open and in
+// parallel topology.
+func NewFabric(n int) *Fabric {
+	f := &Fabric{
+		pairs: make([]*Pair, n),
+		P1:    New("P1"),
+		P2:    New("P2"),
+		P3:    New("P3"),
+	}
+	for i := range f.pairs {
+		f.pairs[i] = NewPair(i)
+	}
+	f.SetParallel()
+	return f
+}
+
+// Size returns the number of battery positions.
+func (f *Fabric) Size() int { return len(f.pairs) }
+
+// Pair returns the relay pair for unit i.
+func (f *Fabric) Pair(i int) *Pair { return f.pairs[i] }
+
+// SetParallel configures the bank for parallel output (same voltage, summed
+// ampere-hours).
+func (f *Fabric) SetParallel() {
+	f.P2.Set(false)
+	f.P1.Set(true)
+	f.P3.Set(true)
+}
+
+// SetSeries configures the bank for series output (summed voltage).
+func (f *Fabric) SetSeries() {
+	f.P1.Set(false)
+	f.P3.Set(false)
+	f.P2.Set(true)
+}
+
+// Parallel reports whether the topology is parallel.
+func (f *Fabric) Parallel() bool {
+	return f.P1.Closed() && f.P3.Closed() && !f.P2.Closed()
+}
+
+// Tick advances every relay in the fabric.
+func (f *Fabric) Tick(dt time.Duration) {
+	for _, p := range f.pairs {
+		p.Tick(dt)
+	}
+	f.P1.Tick(dt)
+	f.P2.Tick(dt)
+	f.P3.Tick(dt)
+}
+
+// UnitsIn returns the indices currently in the given mode.
+func (f *Fabric) UnitsIn(m Mode) []int {
+	var idx []int
+	for i, p := range f.pairs {
+		if p.Mode() == m {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// TotalCycles sums mechanical cycles across the whole network, a proxy for
+// switch-fabric wear.
+func (f *Fabric) TotalCycles() int64 {
+	var n int64
+	for _, p := range f.pairs {
+		n += p.Charge.Cycles() + p.Discharge.Cycles()
+	}
+	return n + f.P1.Cycles() + f.P2.Cycles() + f.P3.Cycles()
+}

@@ -1,0 +1,131 @@
+package relay
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRelaySetCounting(t *testing.T) {
+	r := New("test")
+	if r.Closed() {
+		t.Fatal("new relay should be open")
+	}
+	r.Set(true)
+	r.Set(true) // no-op
+	r.Set(false)
+	if got := r.Cycles(); got != 2 {
+		t.Errorf("cycles = %d, want 2", got)
+	}
+}
+
+func TestRelaySettling(t *testing.T) {
+	r := New("test")
+	r.Set(true)
+	if r.Settled() {
+		t.Error("relay settled instantly")
+	}
+	r.Tick(SwitchTime)
+	if !r.Settled() {
+		t.Error("relay not settled after switch time")
+	}
+}
+
+func TestRelayWearFraction(t *testing.T) {
+	r := New("test")
+	for i := 0; i < 100; i++ {
+		r.Set(i%2 == 0)
+	}
+	if w := r.WearFraction(); w <= 0 || w >= 1e-3 {
+		t.Errorf("wear fraction = %v", w)
+	}
+}
+
+func TestPairInterlock(t *testing.T) {
+	p := NewPair(0)
+	p.SetMode(Charging)
+	if p.Mode() != Charging {
+		t.Fatalf("mode = %v, want charging", p.Mode())
+	}
+	p.SetMode(Discharging)
+	if p.Charge.Closed() {
+		t.Error("charge relay still closed while discharging")
+	}
+	if p.Mode() != Discharging {
+		t.Errorf("mode = %v, want discharging", p.Mode())
+	}
+	p.SetMode(Open)
+	if p.Charge.Closed() || p.Discharge.Closed() {
+		t.Error("open mode left a relay closed")
+	}
+}
+
+func TestPairDoubleClosedFailsSafe(t *testing.T) {
+	p := NewPair(0)
+	p.Charge.Set(true)
+	p.Discharge.Set(true) // fault injection: wedged fabric
+	if p.Mode() != Open {
+		t.Errorf("double-closed pair reported %v, want fail-safe open", p.Mode())
+	}
+}
+
+func TestFabricTopology(t *testing.T) {
+	f := NewFabric(6)
+	if !f.Parallel() {
+		t.Fatal("new fabric should start parallel")
+	}
+	f.SetSeries()
+	if f.Parallel() {
+		t.Error("series topology reported parallel")
+	}
+	if !f.P2.Closed() || f.P1.Closed() || f.P3.Closed() {
+		t.Error("series relay states wrong")
+	}
+	f.SetParallel()
+	if !f.Parallel() {
+		t.Error("parallel restore failed")
+	}
+}
+
+func TestFabricUnitsIn(t *testing.T) {
+	f := NewFabric(4)
+	f.Pair(0).SetMode(Charging)
+	f.Pair(2).SetMode(Discharging)
+	f.Pair(3).SetMode(Discharging)
+	if got := f.UnitsIn(Charging); len(got) != 1 || got[0] != 0 {
+		t.Errorf("charging units = %v", got)
+	}
+	if got := f.UnitsIn(Discharging); len(got) != 2 {
+		t.Errorf("discharging units = %v", got)
+	}
+	if got := f.UnitsIn(Open); len(got) != 1 || got[0] != 1 {
+		t.Errorf("open units = %v", got)
+	}
+}
+
+func TestFabricCycleAccounting(t *testing.T) {
+	f := NewFabric(3)
+	base := f.TotalCycles() // topology setup cycles
+	f.Pair(0).SetMode(Charging)
+	f.Pair(0).SetMode(Open)
+	if got := f.TotalCycles() - base; got != 2 {
+		t.Errorf("cycles delta = %d, want 2", got)
+	}
+}
+
+func TestFabricTick(t *testing.T) {
+	f := NewFabric(2)
+	f.Pair(1).SetMode(Discharging)
+	f.Tick(time.Second)
+	if !f.Pair(1).Discharge.Settled() {
+		t.Error("relay did not settle after tick")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Open.String() != "open" || Charging.String() != "charging" || Discharging.String() != "discharging" {
+		t.Error("mode names wrong")
+	}
+	if Mode(42).String() == "" {
+		t.Error("unknown mode should format")
+	}
+}

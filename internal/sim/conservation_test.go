@@ -1,0 +1,96 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"insure/internal/baseline"
+	"insure/internal/core"
+	"insure/internal/genset"
+	"insure/internal/sim"
+	"insure/internal/trace"
+	"insure/internal/units"
+)
+
+// TestEnergyConservation checks the plant-wide energy balance over a full
+// day: everything the cluster consumed must be accounted for by harvested
+// renewable energy plus the net energy drawn from the battery bank (losses
+// only ever reduce what is available, never create energy).
+func TestEnergyConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-day runs")
+	}
+	mks := map[string]func(n int) sim.Manager{
+		"insure":   func(n int) sim.Manager { return mgrAdapter{core.New(core.DefaultConfig(), n)} },
+		"baseline": func(n int) sim.Manager { return mgrAdapter{baseline.New(baseline.DefaultConfig())} },
+	}
+	for name, mk := range mks {
+		for _, tr := range []*trace.Trace{trace.FullSystemHigh(), trace.FullSystemLow()} {
+			cfg := sim.DefaultConfig(tr)
+			sys, err := sim.New(cfg, sim.NewSeismicSink())
+			if err != nil {
+				t.Fatal(err)
+			}
+			bankBefore := sys.Bank.StoredEnergy()
+			res := sys.Run(mk(cfg.BatteryCount))
+			bankAfter := sys.Bank.StoredEnergy()
+
+			bankDelta := (bankBefore - bankAfter).KWh() // positive = net drain
+			available := res.HarvestedKWh + bankDelta
+			if res.LoadKWh > available+0.05 {
+				t.Errorf("%s: load %.2f kWh exceeds harvested %.2f + bank drain %.2f",
+					name, res.LoadKWh, res.HarvestedKWh, bankDelta)
+			}
+			// Harvest accounting must not exceed what the trace offered.
+			offered := tr.TotalEnergy().KWh()
+			if res.HarvestedKWh > offered+0.05 {
+				t.Errorf("%s: harvested %.2f kWh exceeds trace total %.2f", name, res.HarvestedKWh, offered)
+			}
+			if res.CurtailedKWh < -0.001 {
+				t.Errorf("%s: negative curtailment %.3f", name, res.CurtailedKWh)
+			}
+			if res.HarvestedKWh+res.CurtailedKWh > offered+0.05 {
+				t.Errorf("%s: harvested+curtailed %.2f exceeds offered %.2f",
+					name, res.HarvestedKWh+res.CurtailedKWh, offered)
+			}
+		}
+	}
+}
+
+// mgrAdapter lets the test accept both manager types uniformly.
+type mgrAdapter struct{ sim.Manager }
+
+// TestEnergyConservationWithGeneratorAndWind extends the balance to the
+// secondary feed and auxiliary renewable source.
+func TestEnergyConservationWithGeneratorAndWind(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-day run")
+	}
+	tr := trace.FullSystemLow().Scale(0.4)
+	cfg := sim.DefaultConfig(tr)
+	cfg.Secondary = newTestGenset()
+	cfg.Aux = constAux(120)
+	sys, err := sim.New(cfg, sim.NewVideoSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bankBefore := sys.Bank.StoredEnergy()
+	res := sys.Run(mgrAdapter{core.New(core.DefaultConfig(), cfg.BatteryCount)})
+	bankDelta := (bankBefore - sys.Bank.StoredEnergy()).KWh()
+	available := res.HarvestedKWh + res.GenKWh + bankDelta
+	if res.LoadKWh > available+0.05 {
+		t.Errorf("load %.2f kWh exceeds all sources %.2f", res.LoadKWh, available)
+	}
+	if res.AuxKWh <= 0 {
+		t.Error("aux source not accounted")
+	}
+}
+
+// constAux is a fixed-output auxiliary source for conservation tests.
+type constAux units.Watt
+
+func (c constAux) Step(tod, dt time.Duration) units.Watt { return units.Watt(c) }
+
+// newTestGenset builds a small diesel for conservation tests without
+// importing genset in multiple places.
+func newTestGenset() *genset.Generator { return genset.New(genset.DieselParams()) }

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"time"
+
+	"insure/internal/relay"
+	"insure/internal/units"
+)
+
+// Frame is one down-sampled observation of the plant, enough to re-render
+// the paper's trace figures (Figs 5, 14, 16).
+type Frame struct {
+	At        time.Duration
+	Solar     units.Watt
+	Load      units.Watt
+	StoredWh  units.WattHour
+	Volts     []units.Volt
+	SoCs      []float64
+	Modes     []relay.Mode
+	RunningVM int
+}
+
+// Recorder accumulates frames over a run.
+type Recorder struct {
+	frames []Frame
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Frames returns the captured series.
+func (r *Recorder) Frames() []Frame { return r.frames }
+
+func (r *Recorder) capture(tod time.Duration, s *System) {
+	n := s.Bank.Size()
+	f := Frame{
+		At:        tod,
+		Solar:     s.solarNow,
+		Load:      s.loadNow,
+		StoredWh:  s.Bank.StoredEnergy(),
+		Volts:     make([]units.Volt, n),
+		SoCs:      make([]float64, n),
+		Modes:     make([]relay.Mode, n),
+		RunningVM: s.Cluster.RunningVMs(),
+	}
+	for i := 0; i < n; i++ {
+		u := s.Bank.Unit(i)
+		f.Volts[i] = u.TerminalVoltage()
+		f.SoCs[i] = u.SoC()
+		f.Modes[i] = s.Fabric.Pair(i).Mode()
+	}
+	r.frames = append(r.frames, f)
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+
+	"insure/internal/modbus"
+	"insure/internal/plc"
+	"insure/internal/relay"
+	"insure/internal/units"
+)
+
+// AttachRemotePanel switches the system's control plane from in-process
+// register access to the prototype's real path (§4): the PLC register file
+// is served over Modbus TCP on loopback, and every manager actuation
+// (SetUnitMode) and telemetry read (UnitReading) travels through a Modbus
+// client connection. The returned function tears the panel down.
+//
+// This is how the deployment actually runs when the coordination node and
+// the battery control panel are separate machines; tests use it to prove
+// the manager works unchanged across the fieldbus.
+func (s *System) AttachRemotePanel() (func() error, error) {
+	if s.remote != nil {
+		return nil, fmt.Errorf("sim: remote panel already attached")
+	}
+	srv := modbus.NewServer(s.PLC.Regs)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("sim: panel listen: %w", err)
+	}
+	cli, err := modbus.Dial(addr.String())
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("sim: panel dial: %w", err)
+	}
+	s.remote = cli
+	s.remoteServer = srv
+	return func() error {
+		s.remote = nil
+		s.remoteServer = nil
+		err := cli.Close()
+		if e := srv.Close(); err == nil {
+			err = e
+		}
+		return err
+	}, nil
+}
+
+// RemoteAttached reports whether the control plane runs over Modbus.
+func (s *System) RemoteAttached() bool { return s.remote != nil }
+
+// remoteSetUnitMode writes the relay pair atomically over the fieldbus.
+func (s *System) remoteSetUnitMode(i int, m relay.Mode) error {
+	pair := []bool{m == relay.Charging, m == relay.Discharging}
+	return s.remote.WriteCoils(plc.CoilCharge(i), pair)
+}
+
+// remoteUnitReading fetches and decodes unit telemetry over the fieldbus.
+func (s *System) remoteUnitReading(i int) (units.Volt, units.Amp, error) {
+	codes, err := s.remote.ReadInput(plc.InputVolt(i), 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	probe := s.Probes[i]
+	probe.Volt.SetRaw(codes[0])
+	probe.Current.SetRaw(codes[1])
+	v, cur := probe.Readings()
+	return v, cur, nil
+}

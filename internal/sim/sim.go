@@ -1,0 +1,575 @@
+// Package sim is the discrete-time engine that couples the InSURE plant
+// models — solar supply, battery bank, relay fabric, PLC, sensors, server
+// cluster, and workload — and advances them under the control of a power
+// manager.
+//
+// The engine reproduces the prototype's physical topology (Fig 6): solar
+// power feeds the load directly; surplus flows through the charge bus into
+// whichever battery units have their charging relays closed; deficits are
+// drawn from units on the discharge bus. The PLC samples the per-unit
+// transducers into its register file each scan and drives the relays from
+// its coils, so managers act on transduced readings, exactly like the
+// prototype's coordination node.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"insure/internal/battery"
+	"insure/internal/genset"
+	"insure/internal/logbook"
+	"insure/internal/metrics"
+	"insure/internal/plc"
+	"insure/internal/relay"
+	"insure/internal/sensor"
+	"insure/internal/server"
+	"insure/internal/trace"
+	"insure/internal/units"
+	"insure/internal/workload"
+)
+
+// Manager is a supply/load power-management policy. Control runs once per
+// control period with full access to the plant.
+type Manager interface {
+	Name() string
+	// Period is the manager's control interval.
+	Period() time.Duration
+	// Control observes the plant (through PLC registers) and actuates
+	// relays (through PLC coils) and the server cluster.
+	Control(sys *System, now time.Duration)
+}
+
+// Sink consumes cluster work on behalf of a workload.
+type Sink interface {
+	Spec() workload.Spec
+	// Tick feeds workVMh full-speed VM-hours done at nVMs into the
+	// workload and returns GB processed.
+	Tick(now, dt time.Duration, workVMh float64, nVMs int) float64
+	// HasWork reports whether the workload wants service now.
+	HasWork(now time.Duration) bool
+	// ProcessedGB is cumulative output.
+	ProcessedGB() float64
+	// DelayMinutes is the workload's current service-delay estimate.
+	DelayMinutes() float64
+}
+
+// Config assembles a System.
+type Config struct {
+	// Trace is the solar budget for the day.
+	Trace *trace.Trace
+	// BatteryParams and BatteryCount shape the energy buffer (6 units on
+	// the prototype).
+	BatteryParams battery.Params
+	BatteryCount  int
+	// InitialSoC is each unit's starting state of charge.
+	InitialSoC float64
+	// ServerProfile and ServerCount shape the cluster (4 Xeons).
+	ServerProfile server.Profile
+	ServerCount   int
+	// Step is the simulation tick (default 1 s).
+	Step time.Duration
+	// WindowStart/WindowEnd bound the operating day (Table 6: ~11 h).
+	WindowStart time.Duration
+	WindowEnd   time.Duration
+	// RecordEvery controls recorder down-sampling (default 30 s).
+	RecordEvery time.Duration
+	// HoldUp is how long the plant rides through a supply shortfall before
+	// the inverter trips. The prototype's PLC reacts at scan speed
+	// (10 ms) and its relays switch in 25 ms, so any coordinator decision
+	// within one control period arrives in time; the default (35 s) gives
+	// a 30 s-period manager exactly one chance to react, after which the
+	// bus collapses (§2.3's service disruption).
+	HoldUp time.Duration
+	// CalendarLifeYears caps the e-Buffer service-life projection: VRLA
+	// batteries age out chemically even when lightly cycled (~6 years).
+	CalendarLifeYears float64
+	// Secondary, when non-nil, is the optional backup generator of Fig 6.
+	// It feeds the load bus after the battery, under manager control.
+	Secondary *genset.Generator
+	// Aux, when non-nil, is an additional renewable source feeding the
+	// same bus as the solar array (§2.2 motivates wind/solar systems; see
+	// insure/internal/wind).
+	Aux AuxSupply
+	// Bank, when non-nil, is an existing battery bank to operate instead
+	// of creating a fresh one — multi-day campaigns carry charge state and
+	// wear across days this way.
+	Bank *battery.Bank
+}
+
+// AuxSupply is an additional renewable generator with the solar supply's
+// Step contract.
+type AuxSupply interface {
+	Step(tod, dt time.Duration) units.Watt
+}
+
+// DefaultConfig mirrors the paper's prototype.
+func DefaultConfig(tr *trace.Trace) Config {
+	return Config{
+		Trace:         tr,
+		BatteryParams: battery.DefaultParams(),
+		BatteryCount:  6,
+		InitialSoC:    0.5,
+		ServerProfile: server.Xeon(),
+		ServerCount:   4,
+		Step:          time.Second,
+		WindowStart:   8 * time.Hour,
+		WindowEnd:     19*time.Hour + 30*time.Minute,
+		RecordEvery:   30 * time.Second,
+		HoldUp:        35 * time.Second,
+
+		CalendarLifeYears: 6,
+	}
+}
+
+// System is the assembled plant.
+type System struct {
+	cfg Config
+
+	Bank    *battery.Bank
+	Fabric  *relay.Fabric
+	Probes  []*sensor.BatteryProbe
+	PLC     *plc.PLC
+	Cluster *server.Cluster
+	Sink    Sink
+
+	solarNow units.Watt
+	auxNow   units.Watt
+	loadNow  units.Watt
+
+	// Secondary is the optional backup generator (nil when absent).
+	Secondary *genset.Generator
+
+	// Log is the deployment's operational event log (§5's automatically
+	// collected log data). Managers and the plant both write to it.
+	Log *logbook.Book
+
+	// remote, when set, routes control-plane traffic over Modbus TCP.
+	remote       remoteClient
+	remoteServer remoteCloser
+
+	auxEnergy units.WattHour
+
+	// Accounting.
+	harvested     units.WattHour // solar energy actually used (load+charge)
+	curtailed     units.WattHour // solar energy with nowhere to go
+	loadEnergy    units.WattHour
+	effEnergy     units.WattHour // load energy spent while progressing
+	brownouts     int
+	shortfallFor  time.Duration
+	upTicks       int
+	windowTicks   int
+	dischargeAh   units.AmpHour
+	storedSeries  *metrics.Series
+	voltSeries    *metrics.Series
+	minVolt       units.Volt
+	endVolt       units.Volt
+	recorder      *Recorder
+	recordCounter time.Duration
+}
+
+// New assembles a System; the sink supplies the workload.
+func New(cfg Config, sink Sink) (*System, error) {
+	if cfg.Step <= 0 {
+		cfg.Step = time.Second
+	}
+	if cfg.RecordEvery <= 0 {
+		cfg.RecordEvery = 30 * time.Second
+	}
+	if cfg.HoldUp <= 0 {
+		cfg.HoldUp = 35 * time.Second
+	}
+	bank := cfg.Bank
+	if bank == nil {
+		var err error
+		bank, err = battery.NewBank(cfg.BatteryParams, cfg.BatteryCount, cfg.InitialSoC)
+		if err != nil {
+			return nil, err
+		}
+	} else if bank.Size() != cfg.BatteryCount {
+		return nil, fmt.Errorf("sim: supplied bank has %d units, config wants %d", bank.Size(), cfg.BatteryCount)
+	}
+	s := &System{
+		cfg:          cfg,
+		Bank:         bank,
+		Fabric:       relay.NewFabric(cfg.BatteryCount),
+		PLC:          plc.New(cfg.BatteryCount),
+		Cluster:      server.NewCluster(cfg.ServerProfile, cfg.ServerCount),
+		Sink:         sink,
+		storedSeries: metrics.NewStreamingSeries(),
+		voltSeries:   metrics.NewStreamingSeries(),
+		minVolt:      99,
+		recorder:     NewRecorder(),
+	}
+	s.Secondary = cfg.Secondary
+	s.Log = logbook.New(200_000)
+	for i := 0; i < cfg.BatteryCount; i++ {
+		s.Probes = append(s.Probes, sensor.NewBatteryProbe(i))
+	}
+	s.Cluster.SetUtil(sink.Spec().Util)
+	s.wirePLC()
+	// Prime the register file so the first control pass sees real sensor
+	// samples rather than zeroed registers.
+	s.PLC.ScanNow()
+	return s, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Recorder returns the time-series recorder.
+func (s *System) Recorder() *Recorder { return s.recorder }
+
+// SolarNow is the total harvested renewable power this tick (solar plus
+// any auxiliary source on the same bus) — the green power budget managers
+// plan against.
+func (s *System) SolarNow() units.Watt { return s.solarNow + s.auxNow }
+
+// AuxNow is the auxiliary renewable contribution alone.
+func (s *System) AuxNow() units.Watt { return s.auxNow }
+
+// LoadNow is the cluster draw this tick.
+func (s *System) LoadNow() units.Watt { return s.loadNow }
+
+// Brownouts counts forced shutdowns from supply collapse.
+func (s *System) Brownouts() int { return s.brownouts }
+
+// wirePLC binds the analog sampling and coil actuation hooks.
+func (s *System) wirePLC() {
+	s.PLC.Sample = func(r *plc.RegisterFile) {
+		for i, u := range s.Bank.Units() {
+			snap := u.Snapshot()
+			s.Probes[i].Sample(snap.Terminal, snap.LastCurrent)
+			_ = r.SetInput(plc.InputVolt(i), s.Probes[i].Volt.Raw())
+			_ = r.SetInput(plc.InputCurrent(i), s.Probes[i].Current.Raw())
+		}
+		_ = r.SetInput(plc.InputSolarPower, uint16(units.Clamp(float64(s.solarNow), 0, 65535)))
+		_ = r.SetInput(plc.InputLoadPower, uint16(units.Clamp(float64(s.loadNow), 0, 65535)))
+	}
+	s.PLC.Actuate = func(r *plc.RegisterFile) {
+		for i := 0; i < s.Bank.Size(); i++ {
+			cr, err := r.ReadCoils(plc.CoilCharge(i), 1)
+			if err != nil {
+				continue
+			}
+			dr, err := r.ReadCoils(plc.CoilDischarge(i), 1)
+			if err != nil {
+				continue
+			}
+			pair := s.Fabric.Pair(i)
+			switch {
+			case cr[0] && dr[0]:
+				// Interlock: refuse the double-closed command.
+				pair.SetMode(relay.Open)
+			case cr[0]:
+				pair.SetMode(relay.Charging)
+			case dr[0]:
+				pair.SetMode(relay.Discharging)
+			default:
+				pair.SetMode(relay.Open)
+			}
+		}
+	}
+}
+
+// remoteClient is the Modbus surface the control plane needs.
+type remoteClient interface {
+	WriteCoils(addr uint16, vals []bool) error
+	ReadInput(addr, count uint16) ([]uint16, error)
+}
+
+// remoteCloser tears down the served panel.
+type remoteCloser interface{ Close() error }
+
+// SetUnitMode writes the PLC coils that realise the requested relay mode
+// for unit i — the path a manager uses (locally or over Modbus).
+func (s *System) SetUnitMode(i int, m relay.Mode) {
+	if s.remote != nil {
+		if err := s.remoteSetUnitMode(i, m); err == nil {
+			return
+		}
+		// Fieldbus failure: fall through to the local path so the plant
+		// stays controllable, and leave a trace in the logbook.
+		s.Log.Addf(0, logbook.Emergency, "fieldbus", "write failed for unit %d; local fallback", i)
+	}
+	switch m {
+	case relay.Charging:
+		_ = s.PLC.Regs.WriteCoil(plc.CoilDischarge(i), false)
+		_ = s.PLC.Regs.WriteCoil(plc.CoilCharge(i), true)
+	case relay.Discharging:
+		_ = s.PLC.Regs.WriteCoil(plc.CoilCharge(i), false)
+		_ = s.PLC.Regs.WriteCoil(plc.CoilDischarge(i), true)
+	default:
+		_ = s.PLC.Regs.WriteCoil(plc.CoilCharge(i), false)
+		_ = s.PLC.Regs.WriteCoil(plc.CoilDischarge(i), false)
+	}
+}
+
+// UnitReading returns unit i's transduced voltage and current as sampled by
+// the PLC (what the prototype's coordinator actually sees).
+func (s *System) UnitReading(i int) (units.Volt, units.Amp) {
+	if s.remote != nil {
+		if v, cur, err := s.remoteUnitReading(i); err == nil {
+			return v, cur
+		}
+	}
+	return s.Probes[i].Readings()
+}
+
+// InWindow reports whether tod is inside the operating day.
+func (s *System) InWindow(tod time.Duration) bool {
+	return tod >= s.cfg.WindowStart && tod < s.cfg.WindowEnd
+}
+
+// Tick advances the plant one step at time-of-day tod.
+func (s *System) Tick(tod time.Duration, mgr Manager) {
+	dt := s.cfg.Step
+
+	// 1. Renewable budget for this tick.
+	s.solarNow = s.cfg.Trace.At(tod)
+	if s.cfg.Aux != nil {
+		s.auxNow = s.cfg.Aux.Step(tod, dt)
+		s.auxEnergy += units.Energy(s.auxNow, dt)
+	}
+
+	// 2. Manager control at its period boundary.
+	if mgr != nil && int64(tod/dt)%int64(mgr.Period()/dt) == 0 {
+		mgr.Control(s, tod)
+	}
+
+	// 3. Resolve power flow.
+	s.loadNow = s.Cluster.Power()
+	supply := s.solarNow + s.auxNow
+	solarToLoad := supply
+	if solarToLoad > s.loadNow {
+		solarToLoad = s.loadNow
+	}
+	surplus := supply - solarToLoad
+	deficit := s.loadNow - solarToLoad
+
+	charging := s.Fabric.UnitsIn(relay.Charging)
+	discharging := s.Fabric.UnitsIn(relay.Discharging)
+
+	// Dispatch order for a deficit: the secondary feed (Fig 6/Fig 7 "S")
+	// forms the backup bus and takes the base of the shortfall; the
+	// battery trims whatever remains. Running the battery first would let
+	// a generator-sized load plan crush the buffer at uncapped current.
+	var deliveredWh units.WattHour
+	remaining := deficit
+	if s.Secondary != nil {
+		got := s.Secondary.Step(remaining, dt)
+		deliveredWh += units.Energy(got, dt)
+		remaining -= got
+		if remaining < 0 {
+			remaining = 0
+		}
+	}
+	if remaining > 0 && len(discharging) > 0 {
+		deliveredWh += s.Bank.DischargeSet(discharging, remaining, dt)
+		for _, i := range discharging {
+			v := s.Bank.Unit(i).TerminalVoltage()
+			cur := units.Current(remaining/units.Watt(max(len(discharging), 1)), v)
+			s.dischargeAh += units.Charge(cur, dt)
+		}
+	} else {
+		// Connected but idle discharge units still diffuse/recover.
+		for _, i := range discharging {
+			s.Bank.Unit(i).Rest(dt)
+		}
+	}
+	if deficit > 0 {
+		needWh := units.Energy(deficit, dt)
+		if deliveredWh < needWh*0.95 {
+			// The power panel's hold-up capacitance rides through brief
+			// shortfalls; a sustained one trips the inverter and the
+			// cluster loses power mid-operation (§2.3's disruption).
+			s.shortfallFor += dt
+			if s.shortfallFor >= s.cfg.HoldUp {
+				s.brownouts++
+				s.Cluster.Shutdown()
+				s.shortfallFor = 0
+				s.Log.Addf(tod, logbook.Emergency, "bus",
+					"brownout: %.0f W deficit unserved, cluster shutdown", float64(deficit))
+			}
+		} else {
+			s.shortfallFor = 0
+		}
+	} else {
+		s.shortfallFor = 0
+	}
+	var chargedW units.Watt
+	if surplus > 0 && len(charging) > 0 {
+		chargedW = s.Bank.ChargeSet(charging, surplus, dt)
+	} else {
+		for _, i := range charging {
+			s.Bank.Unit(i).Rest(dt)
+		}
+	}
+	s.curtailed += units.Energy(surplus-chargedW, dt)
+	s.harvested += units.Energy(solarToLoad+chargedW, dt)
+
+	// Units not on either bus rest and recover.
+	for _, i := range s.Fabric.UnitsIn(relay.Open) {
+		s.Bank.Unit(i).Rest(dt)
+	}
+
+	// 4. Control plane sampling/actuation.
+	s.Fabric.Tick(dt)
+	s.PLC.Tick(dt)
+
+	// 5. Cluster progress into the workload.
+	work := s.Cluster.Step(dt)
+	gb := 0.0
+	if s.Sink != nil {
+		gb = s.Sink.Tick(tod, dt, work, s.Cluster.RunningVMs())
+	}
+
+	// 6. Accounting.
+	loadE := units.Energy(s.loadNow, dt)
+	s.loadEnergy += loadE
+	if work > 0 && gb >= 0 {
+		s.effEnergy += loadE
+	}
+	if s.InWindow(tod) {
+		s.windowTicks++
+		if s.Cluster.AnyRunning() {
+			s.upTicks++
+		}
+	}
+	s.storedSeries.Add(float64(s.Bank.StoredEnergy()))
+	for _, u := range s.Bank.Units() {
+		v := u.TerminalVoltage()
+		s.voltSeries.Add(float64(v))
+		if v < s.minVolt {
+			s.minVolt = v
+		}
+	}
+
+	// 7. Trace recording (down-sampled).
+	s.recordCounter += dt
+	if s.recordCounter >= s.cfg.RecordEvery {
+		s.recordCounter = 0
+		s.recorder.capture(tod, s)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Run simulates one full day (from one hour before the solar window to one
+// hour past the operating window) under the manager.
+func (s *System) Run(mgr Manager) Result {
+	start := s.cfg.WindowStart - 2*time.Hour
+	if t := s.cfg.Trace.Start - time.Hour; t < start {
+		start = t
+	}
+	end := s.cfg.WindowEnd + time.Hour
+	for tod := start; tod < end; tod += s.cfg.Step {
+		s.Tick(tod, mgr)
+	}
+	s.endVolt = s.Bank.Unit(0).TerminalVoltage()
+	return s.result(mgr)
+}
+
+// Result summarises a run with the paper's measurement metrics.
+type Result struct {
+	Manager  string
+	Workload string
+
+	// Service-related metrics (Figs 20/21 left half).
+	UptimeFrac  float64 // fraction of the operating window with servers up
+	ProcessedGB float64
+	Throughput  float64 // GB per operating-window hour
+	DelayMin    float64 // mean service delay, minutes
+
+	// System-related metrics (Figs 20/21 right half).
+	EnergyAvail     units.WattHour // mean stored energy in the e-Buffer
+	ServiceLifeYear float64        // projected e-Buffer service life
+	PerfPerAh       float64        // GB processed per discharge Ah
+
+	// Table 6 log statistics.
+	LoadKWh      float64
+	EffectiveKWh float64
+	PowerOps     int
+	OnOffCycles  int
+	VMOps        int
+	MinVolt      units.Volt
+	EndVolt      units.Volt
+	VoltStdDev   float64
+	Brownouts    int
+
+	// Energy-flow accounting.
+	HarvestedKWh float64
+	CurtailedKWh float64
+	WearSpreadAh units.AmpHour
+	// WearAhPerUnit is the day's wear-weighted discharge throughput per
+	// battery unit — the direct driver of buffer service life.
+	WearAhPerUnit units.AmpHour
+
+	// Secondary-power accounting (zero when no backup is fitted).
+	GenStarts   int
+	GenRunHours float64
+	GenKWh      float64
+	GenFuelCost float64
+
+	// AuxKWh is the auxiliary renewable (wind) generation over the run.
+	AuxKWh float64
+}
+
+func (s *System) result(mgr Manager) Result {
+	window := s.cfg.WindowEnd - s.cfg.WindowStart
+	r := Result{
+		Workload:     s.Sink.Spec().Name,
+		ProcessedGB:  s.Sink.ProcessedGB(),
+		DelayMin:     s.Sink.DelayMinutes(),
+		EnergyAvail:  units.WattHour(s.storedSeries.Mean()),
+		LoadKWh:      s.loadEnergy.KWh(),
+		EffectiveKWh: s.effEnergy.KWh(),
+		PowerOps:     s.Cluster.PowerOps(),
+		OnOffCycles:  s.Cluster.OnOffCycles(),
+		VMOps:        s.Cluster.VMOps(),
+		MinVolt:      s.minVolt,
+		EndVolt:      s.endVolt,
+		VoltStdDev:   s.voltSeries.StdDev(),
+		Brownouts:    s.brownouts,
+		HarvestedKWh: s.harvested.KWh(),
+		CurtailedKWh: s.curtailed.KWh(),
+		WearSpreadAh: s.Bank.ThroughputSpread(),
+	}
+	if mgr != nil {
+		r.Manager = mgr.Name()
+	}
+	if s.windowTicks > 0 {
+		r.UptimeFrac = float64(s.upTicks) / float64(s.windowTicks)
+	}
+	if h := window.Hours(); h > 0 {
+		r.Throughput = r.ProcessedGB / h
+	}
+	// Perf per Ah uses the wear-weighted throughput through the buffer, so
+	// deep discharges (which consume disproportionate battery life) count
+	// at their true cost.
+	daily := s.Bank.TotalThroughput()
+	if daily > 0 {
+		r.PerfPerAh = r.ProcessedGB / float64(daily)
+	}
+	r.WearAhPerUnit = daily / units.AmpHour(s.cfg.BatteryCount)
+	if s.Secondary != nil {
+		r.GenStarts = s.Secondary.Starts()
+		r.GenRunHours = s.Secondary.RunTime().Hours()
+		r.GenKWh = s.Secondary.Delivered().KWh()
+		r.GenFuelCost = s.Secondary.FuelCost()
+	}
+	r.AuxKWh = s.auxEnergy.KWh()
+	r.ServiceLifeYear = s.cfg.CalendarLifeYears
+	if daily > 0 {
+		total := float64(s.cfg.BatteryParams.LifetimeAh) * float64(s.cfg.BatteryCount)
+		if cyc := total / float64(daily) / 365; cyc < r.ServiceLifeYear || s.cfg.CalendarLifeYears <= 0 {
+			r.ServiceLifeYear = cyc
+		}
+	}
+	return r
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"time"
+
+	"insure/internal/workload"
+)
+
+// BatchSink adapts a workload.BatchQueue with the paper's seismic arrival
+// schedule: one survey dataset at each arrival time.
+type BatchSink struct {
+	Queue    *workload.BatchQueue
+	Arrivals []time.Duration
+	JobGB    float64
+
+	next    int
+	lastNow time.Duration
+}
+
+// NewSeismicSink builds the paper's seismic case study: 114 GB jobs
+// arriving twice a day (§5).
+func NewSeismicSink() *BatchSink {
+	return &BatchSink{
+		Queue:    workload.NewBatchQueue(workload.Seismic()),
+		Arrivals: []time.Duration{7 * time.Hour, 13 * time.Hour},
+		JobGB:    workload.SeismicJobGB,
+	}
+}
+
+// Spec returns the workload model.
+func (b *BatchSink) Spec() workload.Spec { return b.Queue.Spec }
+
+// Tick injects due arrivals and feeds work to the queue.
+func (b *BatchSink) Tick(now, dt time.Duration, workVMh float64, nVMs int) float64 {
+	b.lastNow = now
+	for b.next < len(b.Arrivals) && now >= b.Arrivals[b.next] {
+		b.Queue.Add(b.Arrivals[b.next], b.JobGB)
+		b.next++
+	}
+	return b.Queue.Tick(now, workVMh, nVMs)
+}
+
+// HasWork reports pending jobs.
+func (b *BatchSink) HasWork(now time.Duration) bool { return b.Queue.HasWork() }
+
+// ProcessedGB is cumulative output.
+func (b *BatchSink) ProcessedGB() float64 { return b.Queue.ProcessedGB() }
+
+// DelayMinutes is the mean completion latency in minutes, with unfinished
+// jobs counted as still waiting — otherwise a manager that never finishes
+// anything would report zero latency.
+func (b *BatchSink) DelayMinutes() float64 {
+	var total time.Duration
+	n := 0
+	for _, j := range b.Queue.Completed() {
+		total += j.Done - j.Arrived
+		n++
+	}
+	for _, j := range b.Queue.Pending() {
+		total += b.lastNow - j.Arrived
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return (total / time.Duration(n)).Minutes()
+}
+
+// StreamSink adapts a workload.StreamQueue: cameras record during the
+// recording window.
+type StreamSink struct {
+	Queue *workload.StreamQueue
+	// RecordStart/RecordEnd bound camera activity.
+	RecordStart, RecordEnd time.Duration
+}
+
+// NewVideoSink builds the paper's 24-camera surveillance case study.
+func NewVideoSink() *StreamSink {
+	return &StreamSink{
+		Queue:       workload.NewStreamQueue(workload.Video()),
+		RecordStart: 7 * time.Hour,
+		RecordEnd:   20 * time.Hour,
+	}
+}
+
+// Spec returns the workload model.
+func (s *StreamSink) Spec() workload.Spec { return s.Queue.Spec }
+
+// Tick gates arrivals on the recording window and feeds the queue.
+func (s *StreamSink) Tick(now, dt time.Duration, workVMh float64, nVMs int) float64 {
+	saved := s.Queue.ArrivalGBPerMin
+	if now < s.RecordStart || now >= s.RecordEnd {
+		s.Queue.ArrivalGBPerMin = 0
+	}
+	gb := s.Queue.Tick(dt, workVMh, nVMs)
+	s.Queue.ArrivalGBPerMin = saved
+	return gb
+}
+
+// HasWork reports backlog or active recording.
+func (s *StreamSink) HasWork(now time.Duration) bool {
+	return s.Queue.Backlog() > 0 || (now >= s.RecordStart && now < s.RecordEnd)
+}
+
+// ProcessedGB is cumulative output.
+func (s *StreamSink) ProcessedGB() float64 { return s.Queue.ProcessedGB() }
+
+// DelayMinutes is the time-averaged service delay.
+func (s *StreamSink) DelayMinutes() float64 { return s.Queue.MeanDelayMinutes() }
+
+// MicroSink adapts an endless micro-benchmark kernel.
+type MicroSink struct {
+	Source *workload.IterativeSource
+}
+
+// NewMicroSink wraps one kernel of the Figs 17–19 suite.
+func NewMicroSink(spec workload.Spec) *MicroSink {
+	return &MicroSink{Source: workload.NewIterativeSource(spec)}
+}
+
+// Spec returns the kernel model.
+func (m *MicroSink) Spec() workload.Spec { return m.Source.Spec }
+
+// Tick feeds work to the kernel.
+func (m *MicroSink) Tick(now, dt time.Duration, workVMh float64, nVMs int) float64 {
+	return m.Source.Tick(workVMh, nVMs)
+}
+
+// HasWork always holds: kernels run iteratively.
+func (m *MicroSink) HasWork(time.Duration) bool { return true }
+
+// ProcessedGB is cumulative output.
+func (m *MicroSink) ProcessedGB() float64 { return m.Source.ProcessedGB() }
+
+// DelayMinutes is zero: kernels have no deadline.
+func (m *MicroSink) DelayMinutes() float64 { return 0 }

@@ -1,0 +1,235 @@
+// Package trace records and replays solar power traces.
+//
+// The paper's methodology (§5) sidesteps the irreproducibility of live sky
+// conditions by recording daytime solar traces (7:00–20:00) and replaying
+// them across experiment pairs, so that compared configurations see exactly
+// the same energy budget and variability pattern. This package provides the
+// same facility: synthesise a trace once (from the solar model), persist it
+// as CSV, and replay it deterministically into any number of simulations.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"insure/internal/solar"
+	"insure/internal/units"
+)
+
+// Trace is a uniformly-sampled power series.
+type Trace struct {
+	// Start is the time-of-day of the first sample.
+	Start time.Duration
+	// Step is the sampling interval.
+	Step time.Duration
+	// Samples holds the harvested power at each step.
+	Samples []units.Watt
+}
+
+// Synthesize records one daytime trace from the solar model at the given
+// weather condition and seed.
+func Synthesize(cond solar.Condition, seed int64, step time.Duration) *Trace {
+	if step <= 0 {
+		step = time.Second
+	}
+	supply := solar.NewSupply(cond, seed)
+	tr := &Trace{Start: solar.Sunrise, Step: step}
+	for tod := solar.Sunrise; tod < solar.Sunset; tod += step {
+		tr.Samples = append(tr.Samples, supply.Step(tod, step))
+	}
+	return tr
+}
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.Samples) }
+
+// Duration is the covered time span.
+func (t *Trace) Duration() time.Duration {
+	return time.Duration(len(t.Samples)) * t.Step
+}
+
+// End is the time-of-day one step past the last sample.
+func (t *Trace) End() time.Duration { return t.Start + t.Duration() }
+
+// At returns the power at time-of-day tod (zero outside the trace window).
+func (t *Trace) At(tod time.Duration) units.Watt {
+	if tod < t.Start || len(t.Samples) == 0 {
+		return 0
+	}
+	i := int((tod - t.Start) / t.Step)
+	if i >= len(t.Samples) {
+		return 0
+	}
+	return t.Samples[i]
+}
+
+// Average is the mean power over the trace window.
+func (t *Trace) Average() units.Watt {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range t.Samples {
+		sum += float64(p)
+	}
+	return units.Watt(sum / float64(len(t.Samples)))
+}
+
+// TotalEnergy integrates the trace.
+func (t *Trace) TotalEnergy() units.WattHour {
+	var e units.WattHour
+	for _, p := range t.Samples {
+		e += units.Energy(p, t.Step)
+	}
+	return e
+}
+
+// Peak returns the maximum sample.
+func (t *Trace) Peak() units.Watt {
+	var max units.Watt
+	for _, p := range t.Samples {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// Scale returns a copy with every sample multiplied by f. The paper's
+// under-provisioning study (§6.4: "even if we cut the solar power budget in
+// half") is a Scale(0.5).
+func (t *Trace) Scale(f float64) *Trace {
+	out := &Trace{Start: t.Start, Step: t.Step, Samples: make([]units.Watt, len(t.Samples))}
+	for i, p := range t.Samples {
+		out.Samples[i] = units.Watt(float64(p) * f)
+	}
+	return out
+}
+
+// ScaleToEnergy returns a copy scaled so the total energy equals target.
+// Table 6's paired days ("each pair of traces has the same total solar
+// energy budgets") are produced this way.
+func (t *Trace) ScaleToEnergy(target units.WattHour) *Trace {
+	cur := t.TotalEnergy()
+	if cur == 0 {
+		return t.Scale(0)
+	}
+	return t.Scale(float64(target) / float64(cur))
+}
+
+// ScaleToPeak returns a copy scaled so the maximum sample equals peak.
+func (t *Trace) ScaleToPeak(peak units.Watt) *Trace {
+	p := t.Peak()
+	if p == 0 {
+		return t.Scale(0)
+	}
+	return t.Scale(float64(peak) / float64(p))
+}
+
+// FullSystemHigh is the high-generation budget of the full-system
+// evaluation (Figs 20/21: "High Solar Generation (1000W)").
+func FullSystemHigh() *Trace {
+	return Synthesize(solar.Sunny, 2015, time.Second).ScaleToPeak(1000)
+}
+
+// FullSystemLow is the low-generation budget (Figs 20/21: "Low Solar
+// Generation (500W)" — §6.4 cuts the high budget in half).
+func FullSystemLow() *Trace { return FullSystemHigh().Scale(0.5) }
+
+// WriteCSV writes "seconds,watts" rows.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seconds", "watts"}); err != nil {
+		return err
+	}
+	for i, p := range t.Samples {
+		tod := t.Start + time.Duration(i)*t.Step
+		rec := []string{
+			strconv.FormatInt(int64(tod/time.Second), 10),
+			strconv.FormatFloat(float64(p), 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. Sampling must be uniform.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: parse csv: %w", err)
+	}
+	if len(rows) < 3 {
+		return nil, fmt.Errorf("trace: need at least 2 samples, got %d rows", len(rows))
+	}
+	rows = rows[1:] // header
+	t0, err := strconv.ParseInt(rows[0][0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad timestamp %q: %w", rows[0][0], err)
+	}
+	t1, err := strconv.ParseInt(rows[1][0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad timestamp %q: %w", rows[1][0], err)
+	}
+	step := time.Duration(t1-t0) * time.Second
+	if step <= 0 {
+		return nil, fmt.Errorf("trace: non-increasing timestamps")
+	}
+	tr := &Trace{Start: time.Duration(t0) * time.Second, Step: step}
+	prev := t0 - int64(step/time.Second)
+	for i, row := range rows {
+		if len(row) != 2 {
+			return nil, fmt.Errorf("trace: row %d has %d fields", i, len(row))
+		}
+		ts, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad timestamp %q: %w", row[0], err)
+		}
+		if ts != prev+int64(step/time.Second) {
+			return nil, fmt.Errorf("trace: non-uniform step at row %d", i)
+		}
+		prev = ts
+		p, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad power %q: %w", row[1], err)
+		}
+		tr.Samples = append(tr.Samples, units.Watt(p))
+	}
+	return tr, nil
+}
+
+// HighGeneration returns the paper's high-solar evaluation trace (Fig 15a):
+// a sunny day averaging ~1114 W.
+func HighGeneration() *Trace {
+	t := Synthesize(solar.Sunny, 2015, time.Second)
+	return t.ScaleToEnergy(units.WattHour(1114 * t.Duration().Hours()))
+}
+
+// LowGeneration returns the paper's low-solar evaluation trace (Fig 15b):
+// an overcast day averaging ~427 W.
+func LowGeneration() *Trace {
+	t := Synthesize(solar.Rainy, 2015, time.Second)
+	return t.ScaleToEnergy(units.WattHour(427 * t.Duration().Hours()))
+}
+
+// Table6Day returns a day trace with the exact energy budget of the paper's
+// Table 6 logs: sunny 7.9 kWh, cloudy 5.9 kWh, rainy 3.0 kWh.
+func Table6Day(cond solar.Condition, seed int64) *Trace {
+	var budget units.WattHour
+	switch cond {
+	case solar.Sunny:
+		budget = units.KiloWattHour(7.9)
+	case solar.Cloudy:
+		budget = units.KiloWattHour(5.9)
+	default:
+		budget = units.KiloWattHour(3.0)
+	}
+	return Synthesize(cond, seed, time.Second).ScaleToEnergy(budget)
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"insure/internal/solar"
+	"insure/internal/units"
+)
+
+func TestSynthesizeWindow(t *testing.T) {
+	tr := Synthesize(solar.Sunny, 1, time.Minute)
+	if tr.Start != solar.Sunrise {
+		t.Errorf("start = %v", tr.Start)
+	}
+	wantLen := int((solar.Sunset - solar.Sunrise) / time.Minute)
+	if tr.Len() != wantLen {
+		t.Errorf("len = %d, want %d", tr.Len(), wantLen)
+	}
+	if tr.End() != solar.Sunset {
+		t.Errorf("end = %v", tr.End())
+	}
+}
+
+func TestAtLookup(t *testing.T) {
+	tr := Synthesize(solar.Sunny, 1, time.Minute)
+	if tr.At(3*time.Hour) != 0 {
+		t.Error("power before sunrise")
+	}
+	if tr.At(22*time.Hour) != 0 {
+		t.Error("power after sunset")
+	}
+	if tr.At(13*time.Hour) <= 0 {
+		t.Error("no power at midday on a sunny trace")
+	}
+}
+
+func TestScale(t *testing.T) {
+	tr := Synthesize(solar.Sunny, 1, time.Minute)
+	half := tr.Scale(0.5)
+	if math.Abs(float64(half.TotalEnergy())-0.5*float64(tr.TotalEnergy())) > 1 {
+		t.Error("Scale(0.5) did not halve energy")
+	}
+	if half.Len() != tr.Len() {
+		t.Error("scale changed length")
+	}
+}
+
+func TestScaleToEnergy(t *testing.T) {
+	tr := Synthesize(solar.Cloudy, 3, time.Minute)
+	target := units.KiloWattHour(5.9)
+	got := tr.ScaleToEnergy(target).TotalEnergy()
+	if math.Abs(float64(got-target)) > 1 {
+		t.Errorf("scaled energy = %v, want %v", got, target)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Synthesize(solar.Cloudy, 9, time.Minute)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() || back.Start != tr.Start || back.Step != tr.Step {
+		t.Fatalf("shape mismatch: %d/%v/%v vs %d/%v/%v",
+			back.Len(), back.Start, back.Step, tr.Len(), tr.Start, tr.Step)
+	}
+	for i := range tr.Samples {
+		if math.Abs(float64(back.Samples[i]-tr.Samples[i])) > 0.001 {
+			t.Fatalf("sample %d: %v vs %v", i, back.Samples[i], tr.Samples[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"too short":      "seconds,watts\n0,1.0\n",
+		"bad timestamp":  "seconds,watts\nx,1.0\n60,2.0\n120,3.0\n",
+		"bad power":      "seconds,watts\n0,abc\n60,2.0\n120,3.0\n",
+		"nonuniform":     "seconds,watts\n0,1.0\n60,2.0\n200,3.0\n",
+		"non-increasing": "seconds,watts\n60,1.0\n60,2.0\n60,3.0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestHighLowGenerationLevels(t *testing.T) {
+	hi := HighGeneration()
+	lo := LowGeneration()
+	if avg := float64(hi.Average()); math.Abs(avg-1114) > 15 {
+		t.Errorf("high trace average = %.0f W, want ~1114 (Fig 15a)", avg)
+	}
+	if avg := float64(lo.Average()); math.Abs(avg-427) > 10 {
+		t.Errorf("low trace average = %.0f W, want ~427 (Fig 15b)", avg)
+	}
+	if hi.Peak() <= lo.Peak() {
+		t.Error("high trace should peak above low trace")
+	}
+}
+
+func TestTable6DayBudgets(t *testing.T) {
+	for _, c := range []struct {
+		cond solar.Condition
+		kwh  float64
+	}{{solar.Sunny, 7.9}, {solar.Cloudy, 5.9}, {solar.Rainy, 3.0}} {
+		tr := Table6Day(c.cond, 1)
+		if got := tr.TotalEnergy().KWh(); math.Abs(got-c.kwh) > 0.01 {
+			t.Errorf("%v day energy = %.2f kWh, want %.1f", c.cond, got, c.kwh)
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var tr Trace
+	if tr.Average() != 0 || tr.Peak() != 0 || tr.TotalEnergy() != 0 {
+		t.Error("empty trace aggregates should be zero")
+	}
+	if tr.At(12*time.Hour) != 0 {
+		t.Error("empty trace lookup should be zero")
+	}
+}

@@ -1,0 +1,84 @@
+// Package units defines the physical quantity types shared by every InSURE
+// subsystem. Power-system models are riddled with unit mistakes when raw
+// float64s travel across package boundaries; distinct named types let the
+// compiler catch a watt being handed to an amp-hour parameter while keeping
+// arithmetic as cheap as plain floats.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Watt is electrical power in watts.
+type Watt float64
+
+// WattHour is electrical energy in watt-hours.
+type WattHour float64
+
+// Amp is electrical current in amperes.
+type Amp float64
+
+// AmpHour is electric charge in ampere-hours, the natural unit for battery
+// throughput and wear accounting.
+type AmpHour float64
+
+// Volt is electric potential in volts.
+type Volt float64
+
+// KiloWattHour converts a kWh quantity into WattHour.
+func KiloWattHour(kwh float64) WattHour { return WattHour(kwh * 1000) }
+
+// KWh reports the energy in kilowatt-hours.
+func (e WattHour) KWh() float64 { return float64(e) / 1000 }
+
+// Energy returns the energy transferred by power p flowing for d.
+func Energy(p Watt, d time.Duration) WattHour {
+	return WattHour(float64(p) * d.Hours())
+}
+
+// Charge returns the charge moved by current i flowing for d.
+func Charge(i Amp, d time.Duration) AmpHour {
+	return AmpHour(float64(i) * d.Hours())
+}
+
+// Power returns the power implied by current i at potential v.
+func Power(i Amp, v Volt) Watt { return Watt(float64(i) * float64(v)) }
+
+// Current returns the current implied by power p at potential v.
+// It returns 0 when v is 0 to avoid propagating Inf through the models.
+func Current(p Watt, v Volt) Amp {
+	if v == 0 {
+		return 0
+	}
+	return Amp(float64(p) / float64(v))
+}
+
+// Over returns the average power that delivers energy e over duration d.
+func (e WattHour) Over(d time.Duration) Watt {
+	h := d.Hours()
+	if h == 0 {
+		return 0
+	}
+	return Watt(float64(e) / h)
+}
+
+func (p Watt) String() string     { return fmt.Sprintf("%.1fW", float64(p)) }
+func (e WattHour) String() string { return fmt.Sprintf("%.1fWh", float64(e)) }
+func (i Amp) String() string      { return fmt.Sprintf("%.2fA", float64(i)) }
+func (q AmpHour) String() string  { return fmt.Sprintf("%.2fAh", float64(q)) }
+func (v Volt) String() string     { return fmt.Sprintf("%.2fV", float64(v)) }
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*Clamp(t, 0, 1) }

@@ -1,0 +1,124 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEnergy(t *testing.T) {
+	cases := []struct {
+		p    Watt
+		d    time.Duration
+		want WattHour
+	}{
+		{100, time.Hour, 100},
+		{100, 30 * time.Minute, 50},
+		{0, time.Hour, 0},
+		{450, 2 * time.Hour, 900},
+		{1600, 15 * time.Minute, 400},
+	}
+	for _, c := range cases {
+		if got := Energy(c.p, c.d); !almostEqual(float64(got), float64(c.want), 1e-9) {
+			t.Errorf("Energy(%v, %v) = %v, want %v", c.p, c.d, got, c.want)
+		}
+	}
+}
+
+func TestCharge(t *testing.T) {
+	if got := Charge(10, 90*time.Minute); !almostEqual(float64(got), 15, 1e-9) {
+		t.Errorf("Charge(10A, 90m) = %v, want 15Ah", got)
+	}
+}
+
+func TestPowerCurrentRoundTrip(t *testing.T) {
+	f := func(p float64, v float64) bool {
+		p = math.Mod(math.Abs(p), 5000)
+		v = 10 + math.Mod(math.Abs(v), 40)
+		i := Current(Watt(p), Volt(v))
+		back := Power(i, Volt(v))
+		return almostEqual(float64(back), p, 1e-6*math.Max(1, p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurrentZeroVolt(t *testing.T) {
+	if got := Current(100, 0); got != 0 {
+		t.Errorf("Current at 0V = %v, want 0", got)
+	}
+}
+
+func TestOver(t *testing.T) {
+	if got := WattHour(500).Over(2 * time.Hour); !almostEqual(float64(got), 250, 1e-9) {
+		t.Errorf("500Wh over 2h = %v, want 250W", got)
+	}
+	if got := WattHour(500).Over(0); got != 0 {
+		t.Errorf("energy over 0 duration = %v, want 0", got)
+	}
+}
+
+func TestKiloWattHour(t *testing.T) {
+	e := KiloWattHour(2.5)
+	if !almostEqual(float64(e), 2500, 1e-9) {
+		t.Errorf("KiloWattHour(2.5) = %v", e)
+	}
+	if !almostEqual(e.KWh(), 2.5, 1e-12) {
+		t.Errorf("round-trip KWh = %v", e.KWh())
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		got := Clamp(x, -1, 1)
+		return got >= -1 && got <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(0, 10, 0.5); got != 5 {
+		t.Errorf("Lerp mid = %v", got)
+	}
+	if got := Lerp(0, 10, -2); got != 0 {
+		t.Errorf("Lerp below = %v", got)
+	}
+	if got := Lerp(0, 10, 3); got != 10 {
+		t.Errorf("Lerp above = %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if s := Watt(123.45).String(); s != "123.5W" {
+		t.Errorf("Watt string = %q", s)
+	}
+	if s := Volt(12.801).String(); s != "12.80V" {
+		t.Errorf("Volt string = %q", s)
+	}
+	if s := AmpHour(35).String(); s != "35.00Ah" {
+		t.Errorf("AmpHour string = %q", s)
+	}
+}

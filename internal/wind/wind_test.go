@@ -1,0 +1,119 @@
+package wind
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRegimeOrdering(t *testing.T) {
+	if !(Calm.meanSpeed() < Moderate.meanSpeed() && Moderate.meanSpeed() < Windy.meanSpeed()) {
+		t.Error("regime mean speeds not ordered")
+	}
+	for _, r := range []Regime{Calm, Moderate, Windy} {
+		if r.String() == "" {
+			t.Errorf("regime %d unnamed", r)
+		}
+	}
+	if Regime(9).String() == "" {
+		t.Error("unknown regime should format")
+	}
+}
+
+func TestFieldMeanReversion(t *testing.T) {
+	f := NewField(Moderate, 42)
+	var sum float64
+	const n = 24 * 3600
+	for i := 0; i < n; i++ {
+		sum += f.Step(time.Second)
+	}
+	mean := sum / n
+	if math.Abs(mean-6.0) > 1.0 {
+		t.Errorf("day-long mean speed %.2f m/s, want ~6", mean)
+	}
+}
+
+func TestFieldNeverNegative(t *testing.T) {
+	f := NewField(Calm, 7)
+	for i := 0; i < 100000; i++ {
+		if v := f.Step(time.Second); v < 0 {
+			t.Fatalf("negative wind speed %v at step %d", v, i)
+		}
+	}
+}
+
+func TestFieldDeterminism(t *testing.T) {
+	a, b := NewField(Windy, 5), NewField(Windy, 5)
+	for i := 0; i < 1000; i++ {
+		if a.Step(time.Second) != b.Step(time.Second) {
+			t.Fatal("equal seeds diverged")
+		}
+	}
+}
+
+func TestPowerCurve(t *testing.T) {
+	tb := DefaultTurbine()
+	if tb.Output(1) != 0 {
+		t.Error("output below cut-in")
+	}
+	if tb.Output(25) != 0 {
+		t.Error("output above cut-out (storm shutdown)")
+	}
+	if got := tb.Output(11); got != tb.Rated {
+		t.Errorf("rated-speed output = %v, want %v", got, tb.Rated)
+	}
+	if got := tb.Output(15); got != tb.Rated {
+		t.Errorf("above-rated output = %v, want flat %v", got, tb.Rated)
+	}
+	mid := tb.Output(7)
+	if mid <= 0 || mid >= tb.Rated {
+		t.Errorf("mid-curve output %v outside (0, rated)", mid)
+	}
+	// Cubic growth: 9 m/s yields much more than 2× the 6 m/s output.
+	if low, high := tb.Output(6), tb.Output(9); float64(high) < 2*float64(low) {
+		t.Errorf("power curve not superlinear: %v at 6 m/s vs %v at 9 m/s", low, high)
+	}
+}
+
+func TestPowerCurveMonotone(t *testing.T) {
+	tb := DefaultTurbine()
+	prev := -1.0
+	for v := tb.CutIn; v < tb.CutOut; v += 0.25 {
+		p := float64(tb.Output(v))
+		if p < prev {
+			t.Fatalf("power curve decreasing at %v m/s", v)
+		}
+		prev = p
+	}
+}
+
+func TestSupplyRoundTheClock(t *testing.T) {
+	s := NewSupply(Windy, 3)
+	var night, day float64
+	for tod := 0 * time.Hour; tod < 24*time.Hour; tod += time.Minute {
+		p := float64(s.Step(tod, time.Minute))
+		if tod < 6*time.Hour {
+			night += p
+		} else if tod > 10*time.Hour && tod < 16*time.Hour {
+			day += p
+		}
+	}
+	if night <= 0 {
+		t.Error("wind supply produced nothing at night — it should not be diurnal")
+	}
+	if s.Harvested() <= 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestWindyBeatsCalm(t *testing.T) {
+	calm, windy := NewSupply(Calm, 11), NewSupply(Windy, 11)
+	for tod := 0 * time.Hour; tod < 24*time.Hour; tod += time.Minute {
+		calm.Step(tod, time.Minute)
+		windy.Step(tod, time.Minute)
+	}
+	if windy.Harvested() <= calm.Harvested() {
+		t.Errorf("windy site (%v) did not out-produce calm site (%v)",
+			windy.Harvested(), calm.Harvested())
+	}
+}

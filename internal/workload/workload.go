@@ -1,0 +1,319 @@
+// Package workload models the in-situ data processing applications the
+// paper evaluates (§2.1, §5, Table 5):
+//
+//   - seismic data analysis — an intermittent batch job (114 GB arriving
+//     twice a day from a 225 km² oil-field survey), run with Madagascar on
+//     the prototype;
+//   - video surveillance analysis — a continuous data stream (24 cameras,
+//     1280×720 @ 5 fps, 0.21 GB/min), run with Hadoop pattern recognition;
+//   - six micro benchmarks (x264, vips, sort, graph, dedup, terasort) from
+//     PARSEC/HiBench/CloudSuite used for the power-management studies
+//     (Figs 17–19).
+//
+// Each workload is calibrated against the paper's measurements: Table 2
+// (seismic VM-scaling), Table 3 (video VM-scaling and delay) and Table 7
+// (per-architecture execution profiles).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"insure/internal/units"
+)
+
+// Kind classifies a workload's control policy (§2.3: batch jobs and stream
+// jobs need different knobs).
+type Kind int
+
+const (
+	// Batch jobs are throttled with DVFS duty cycles; changing VM count
+	// mid-job is expensive or impossible.
+	Batch Kind = iota
+	// Stream jobs are throttled by adjusting the VM count between the
+	// short time windows of the stream.
+	Stream
+	// Micro kernels run iteratively for power-management studies.
+	Micro
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Batch:
+		return "batch"
+	case Stream:
+		return "stream"
+	case Micro:
+		return "micro"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec is a workload's calibrated power/performance model.
+type Spec struct {
+	Name string
+	Kind Kind
+	// Util is the per-VM CPU utilisation the workload drives (sets server
+	// power draw via the server package's power envelope).
+	Util float64
+	// BaseRate is GB processed per full-speed VM-hour by a single VM.
+	BaseRate float64
+	// Alpha is the parallel-scaling exponent: n VMs deliver
+	// BaseRate·n^Alpha GB/h. Alpha < 1 models coordination overhead.
+	Alpha float64
+}
+
+// Rate is the aggregate processing rate (GB/h) with n VMs at the given
+// DVFS duty cycle.
+func (s Spec) Rate(nVMs int, duty float64) float64 {
+	if nVMs <= 0 {
+		return 0
+	}
+	return s.BaseRate * math.Pow(float64(nVMs), s.Alpha) * units.Clamp(duty, 0, 1)
+}
+
+// Efficiency converts raw VM-hours of work into GB, accounting for the
+// sublinear scaling at the current VM count.
+func (s Spec) Efficiency(nVMs int) float64 {
+	if nVMs <= 0 {
+		return 0
+	}
+	return s.BaseRate * math.Pow(float64(nVMs), s.Alpha-1)
+}
+
+// Seismic is the oil-exploration batch workload. Calibration (Table 2):
+// 4 VMs process 16.5 GB/h; 8 VMs 24.6 GB/h raw (14.0 GB/h at the measured
+// 57% availability). Per-node power ≈ 350 W → Util 0.41.
+func Seismic() Spec {
+	return Spec{Name: "seismic", Kind: Batch, Util: 0.41, BaseRate: 7.43, Alpha: 0.576}
+}
+
+// SeismicJobGB is the survey data volume per acquisition (114 GB, twice a
+// day).
+const SeismicJobGB = 114.0
+
+// Video is the surveillance stream workload. Calibration (Table 3): 8 VMs
+// exactly keep up with the 24-camera 0.21 GB/min stream; fewer VMs fall
+// behind with the measured delays. Per-node power ≈ 353 W → Util 0.43.
+func Video() Spec {
+	// 0.21 GB/min at 8 VMs → 12.6 GB/h aggregate; Alpha 0.85 reproduces
+	// Table 3's sublinear decline (6 VMs ≈ 78%, 2 VMs ≈ 31% of full rate).
+	return Spec{Name: "video", Kind: Stream, Util: 0.43, BaseRate: 12.6 / math.Pow(8, 0.85), Alpha: 0.85}
+}
+
+// VideoArrivalGBPerMin is the stream's aggregate arrival rate.
+const VideoArrivalGBPerMin = 0.21
+
+// Micro-benchmark kernels (Fig 17–19 set). Rates are relative: they only
+// matter through the improvement ratios InSURE-vs-baseline, so they are set
+// to plausible per-kernel magnitudes with distinct utilisation levels.
+func X264() Spec {
+	return Spec{Name: "x264", Kind: Micro, Util: 0.41, BaseRate: 4.4, Alpha: 0.9}
+}
+func Vips() Spec {
+	return Spec{Name: "vips", Kind: Micro, Util: 0.52, BaseRate: 6.0, Alpha: 0.88}
+}
+func Sort() Spec {
+	return Spec{Name: "sort", Kind: Micro, Util: 0.38, BaseRate: 9.5, Alpha: 0.8}
+}
+func Graph() Spec {
+	return Spec{Name: "graph", Kind: Micro, Util: 0.6, BaseRate: 2.2, Alpha: 0.75}
+}
+func Dedup() Spec {
+	return Spec{Name: "dedup", Kind: Micro, Util: 0.47, BaseRate: 27.0, Alpha: 0.85}
+}
+func Terasort() Spec {
+	return Spec{Name: "terasort", Kind: Micro, Util: 0.45, BaseRate: 8.0, Alpha: 0.78}
+}
+
+// MicroSuite returns the six kernels of Figs 17–19 in paper order.
+func MicroSuite() []Spec {
+	return []Spec{X264(), Vips(), Sort(), Graph(), Dedup(), Terasort()}
+}
+
+// Job is one batch work item.
+type Job struct {
+	Size      float64 // GB
+	Remaining float64 // GB
+	Arrived   time.Duration
+	Done      time.Duration // zero until completion
+}
+
+// BatchQueue feeds intermittent batch jobs (seismic surveys) to the
+// cluster one at a time and records completion latency.
+type BatchQueue struct {
+	Spec Spec
+
+	pending   []*Job
+	completed []*Job
+	processed float64 // GB
+}
+
+// NewBatchQueue returns an empty queue for the given spec.
+func NewBatchQueue(s Spec) *BatchQueue { return &BatchQueue{Spec: s} }
+
+// Add enqueues a job of size GB arriving at time now.
+func (q *BatchQueue) Add(now time.Duration, sizeGB float64) {
+	q.pending = append(q.pending, &Job{Size: sizeGB, Remaining: sizeGB, Arrived: now})
+}
+
+// Tick consumes workVMh VM-hours of cluster work at the given VM count,
+// advancing the head-of-line job (batch jobs run one at a time on the
+// prototype). It returns GB processed this tick.
+func (q *BatchQueue) Tick(now time.Duration, workVMh float64, nVMs int) float64 {
+	if len(q.pending) == 0 || workVMh <= 0 {
+		return 0
+	}
+	gb := workVMh * q.Spec.Efficiency(nVMs)
+	var used float64
+	for gb > 0 && len(q.pending) > 0 {
+		job := q.pending[0]
+		take := math.Min(gb, job.Remaining)
+		job.Remaining -= take
+		gb -= take
+		used += take
+		if job.Remaining <= 1e-9 {
+			job.Done = now
+			q.completed = append(q.completed, job)
+			q.pending = q.pending[1:]
+		}
+	}
+	q.processed += used
+	return used
+}
+
+// PendingGB is the unprocessed backlog.
+func (q *BatchQueue) PendingGB() float64 {
+	var gb float64
+	for _, j := range q.pending {
+		gb += j.Remaining
+	}
+	return gb
+}
+
+// HasWork reports whether any job is waiting.
+func (q *BatchQueue) HasWork() bool { return len(q.pending) > 0 }
+
+// ProcessedGB is the cumulative data processed.
+func (q *BatchQueue) ProcessedGB() float64 { return q.processed }
+
+// Completed returns finished jobs.
+func (q *BatchQueue) Completed() []*Job { return q.completed }
+
+// Pending returns jobs still waiting or in progress.
+func (q *BatchQueue) Pending() []*Job { return q.pending }
+
+// MeanLatency is the average arrival-to-completion latency of finished
+// jobs.
+func (q *BatchQueue) MeanLatency() time.Duration {
+	if len(q.completed) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, j := range q.completed {
+		total += j.Done - j.Arrived
+	}
+	return total / time.Duration(len(q.completed))
+}
+
+// StreamQueue models the continuous video stream: data arrives at a fixed
+// rate and is processed as cluster capacity allows; the backlog divided by
+// the arrival rate is the service delay the paper reports in Table 3.
+type StreamQueue struct {
+	Spec Spec
+	// ArrivalGBPerMin is the aggregate camera data rate.
+	ArrivalGBPerMin float64
+
+	backlog   float64 // GB waiting
+	arrived   float64
+	processed float64
+	dropped   float64
+	// MaxBacklogGB bounds on-site buffering; beyond it data is dropped
+	// (lost frames), which the paper's availability metric penalises.
+	MaxBacklogGB float64
+
+	delaySum     float64 // GB-weighted delay integral (gb·minutes)
+	maxDelayMin  float64
+	delaySamples int
+	delayTotal   float64
+}
+
+// NewStreamQueue returns a stream fed at the paper's 24-camera rate.
+func NewStreamQueue(s Spec) *StreamQueue {
+	return &StreamQueue{Spec: s, ArrivalGBPerMin: VideoArrivalGBPerMin, MaxBacklogGB: 500}
+}
+
+// Tick advances the stream by dt with workVMh of cluster work at nVMs.
+// It returns GB processed.
+func (s *StreamQueue) Tick(dt time.Duration, workVMh float64, nVMs int) float64 {
+	in := s.ArrivalGBPerMin * dt.Minutes()
+	s.arrived += in
+	s.backlog += in
+	gb := workVMh * s.Spec.Efficiency(nVMs)
+	if gb > s.backlog {
+		gb = s.backlog
+	}
+	s.backlog -= gb
+	s.processed += gb
+	if s.backlog > s.MaxBacklogGB {
+		s.dropped += s.backlog - s.MaxBacklogGB
+		s.backlog = s.MaxBacklogGB
+	}
+
+	// Current delay estimate: how long a newly-arrived GB waits.
+	delayMin := 0.0
+	if s.ArrivalGBPerMin > 0 {
+		delayMin = s.backlog / s.ArrivalGBPerMin
+	}
+	if delayMin > s.maxDelayMin {
+		s.maxDelayMin = delayMin
+	}
+	s.delayTotal += delayMin
+	s.delaySamples++
+	return gb
+}
+
+// Backlog is the waiting data in GB.
+func (s *StreamQueue) Backlog() float64 { return s.backlog }
+
+// ProcessedGB is the cumulative data analysed.
+func (s *StreamQueue) ProcessedGB() float64 { return s.processed }
+
+// ArrivedGB is the cumulative data produced by the cameras.
+func (s *StreamQueue) ArrivedGB() float64 { return s.arrived }
+
+// DroppedGB is data lost to buffer overflow.
+func (s *StreamQueue) DroppedGB() float64 { return s.dropped }
+
+// MeanDelayMinutes is the time-averaged service delay.
+func (s *StreamQueue) MeanDelayMinutes() float64 {
+	if s.delaySamples == 0 {
+		return 0
+	}
+	return s.delayTotal / float64(s.delaySamples)
+}
+
+// MaxDelayMinutes is the worst observed service delay.
+func (s *StreamQueue) MaxDelayMinutes() float64 { return s.maxDelayMin }
+
+// IterativeSource is an endless supply of micro-benchmark iterations: the
+// evaluation (§5) runs each kernel iteratively, so there is always work.
+type IterativeSource struct {
+	Spec      Spec
+	processed float64
+}
+
+// NewIterativeSource wraps a micro kernel.
+func NewIterativeSource(s Spec) *IterativeSource { return &IterativeSource{Spec: s} }
+
+// Tick converts cluster work into processed GB.
+func (it *IterativeSource) Tick(workVMh float64, nVMs int) float64 {
+	gb := workVMh * it.Spec.Efficiency(nVMs)
+	it.processed += gb
+	return gb
+}
+
+// ProcessedGB is the cumulative data processed.
+func (it *IterativeSource) ProcessedGB() float64 { return it.processed }

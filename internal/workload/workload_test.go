@@ -1,0 +1,289 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeismicTable2Calibration(t *testing.T) {
+	s := Seismic()
+	// Table 2: 4 VMs sustain ~16.5 GB/h; 8 VMs ~24.6 GB/h raw (14.0 at the
+	// measured 57% availability).
+	r4 := s.Rate(4, 1)
+	if math.Abs(r4-16.5) > 0.5 {
+		t.Errorf("seismic 4-VM rate = %.2f GB/h, want ~16.5", r4)
+	}
+	r8 := s.Rate(8, 1)
+	if math.Abs(r8*0.57-14.0) > 1.0 {
+		t.Errorf("seismic 8-VM rate at 57%% availability = %.2f GB/h, want ~14", r8*0.57)
+	}
+	// The paper's key observation: doubling VMs does NOT double throughput.
+	if r8 >= 2*r4*0.9 {
+		t.Errorf("seismic scaling too linear: 4VM=%.1f 8VM=%.1f", r4, r8)
+	}
+}
+
+func TestVideoTable3Calibration(t *testing.T) {
+	v := Video()
+	// 8 VMs must keep up with the 0.21 GB/min arrival.
+	r8 := v.Rate(8, 1) / 60 // GB/min
+	if math.Abs(r8-0.21) > 0.005 {
+		t.Errorf("video 8-VM rate = %.3f GB/min, want 0.21", r8)
+	}
+	// Fewer VMs fall behind monotonically (Table 3's degradation).
+	prev := r8
+	for _, n := range []int{6, 4, 2} {
+		r := v.Rate(n, 1) / 60
+		if r >= prev {
+			t.Errorf("video rate at %d VMs (%.3f) not below %d-VM rate", n, r, n+2)
+		}
+		prev = r
+	}
+	// 2 VMs deliver roughly a third of full rate (paper: 0.07 of 0.21).
+	if ratio := v.Rate(2, 1) / v.Rate(8, 1); ratio < 0.25 || ratio > 0.45 {
+		t.Errorf("2-VM fraction = %.2f, want ~1/3", ratio)
+	}
+}
+
+func TestRateEdgeCases(t *testing.T) {
+	s := Seismic()
+	if s.Rate(0, 1) != 0 {
+		t.Error("zero VMs should process nothing")
+	}
+	if s.Rate(4, 0) != 0 {
+		t.Error("zero duty should process nothing")
+	}
+	if s.Rate(4, 0.5) >= s.Rate(4, 1) {
+		t.Error("duty must scale rate down")
+	}
+	if s.Efficiency(0) != 0 {
+		t.Error("efficiency at 0 VMs should be 0")
+	}
+}
+
+func TestEfficiencyConsistentWithRate(t *testing.T) {
+	// n VMs running 1 hour at full duty produce n VM-hours; converting via
+	// Efficiency must equal Rate.
+	for _, spec := range append(MicroSuite(), Seismic(), Video()) {
+		for n := 1; n <= 8; n++ {
+			got := float64(n) * spec.Efficiency(n)
+			want := spec.Rate(n, 1)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s: efficiency×n = %v, rate = %v at n=%d", spec.Name, got, want, n)
+			}
+		}
+	}
+}
+
+func TestBatchQueueLifecycle(t *testing.T) {
+	q := NewBatchQueue(Seismic())
+	if q.HasWork() {
+		t.Fatal("new queue should be empty")
+	}
+	q.Add(0, 10)
+	q.Add(0, 5)
+	if got := q.PendingGB(); got != 15 {
+		t.Fatalf("pending = %v", got)
+	}
+	// Process with 4 VMs for enough VM-hours to finish both jobs.
+	eff := Seismic().Efficiency(4)
+	need := 15 / eff
+	done := q.Tick(2*time.Hour, need, 4)
+	if math.Abs(done-15) > 1e-6 {
+		t.Errorf("processed %v GB, want 15", done)
+	}
+	if q.HasWork() {
+		t.Error("queue should be drained")
+	}
+	if len(q.Completed()) != 2 {
+		t.Errorf("completed = %d jobs", len(q.Completed()))
+	}
+	if q.MeanLatency() != 2*time.Hour {
+		t.Errorf("mean latency = %v", q.MeanLatency())
+	}
+}
+
+func TestBatchQueuePartialProgress(t *testing.T) {
+	q := NewBatchQueue(Seismic())
+	q.Add(0, 100)
+	eff := Seismic().Efficiency(4)
+	q.Tick(time.Hour, 10/eff, 4)
+	if got := q.PendingGB(); math.Abs(got-90) > 1e-6 {
+		t.Errorf("pending after partial tick = %v, want 90", got)
+	}
+	if len(q.Completed()) != 0 {
+		t.Error("job completed early")
+	}
+	if q.Tick(time.Hour, 0, 4) != 0 {
+		t.Error("zero work processed data")
+	}
+}
+
+func TestBatchQueueHeadOfLine(t *testing.T) {
+	q := NewBatchQueue(Seismic())
+	q.Add(0, 10)
+	q.Add(0, 10)
+	eff := Seismic().Efficiency(4)
+	q.Tick(time.Hour, 12/eff, 4)
+	// First job done, second partially.
+	if len(q.Completed()) != 1 {
+		t.Fatalf("completed = %d", len(q.Completed()))
+	}
+	if math.Abs(q.PendingGB()-8) > 1e-6 {
+		t.Errorf("pending = %v, want 8", q.PendingGB())
+	}
+}
+
+func TestStreamQueueKeepsUpAt8VMs(t *testing.T) {
+	s := NewStreamQueue(Video())
+	eff := Video().Efficiency(8)
+	for i := 0; i < 120; i++ {
+		workVMh := 8.0 / 60 // 8 VMs for one minute
+		s.Tick(time.Minute, workVMh, 8)
+		_ = eff
+	}
+	if d := s.MeanDelayMinutes(); d > 0.1 {
+		t.Errorf("8-VM mean delay = %.2f min, want ~0 (Table 3)", d)
+	}
+	if s.DroppedGB() != 0 {
+		t.Error("no data should drop at full capacity")
+	}
+}
+
+func TestStreamQueueFallsBehindAt2VMs(t *testing.T) {
+	s := NewStreamQueue(Video())
+	for i := 0; i < 120; i++ {
+		s.Tick(time.Minute, 2.0/60, 2)
+	}
+	if d := s.MeanDelayMinutes(); d <= 0.5 {
+		t.Errorf("2-VM mean delay = %.2f min, want substantial backlog (Table 3: 1.5)", d)
+	}
+	if s.Backlog() <= 0 {
+		t.Error("backlog should accumulate at 2 VMs")
+	}
+	if s.MaxDelayMinutes() < s.MeanDelayMinutes() {
+		t.Error("max delay below mean delay")
+	}
+}
+
+func TestStreamQueueDropsAtCap(t *testing.T) {
+	s := NewStreamQueue(Video())
+	s.MaxBacklogGB = 1
+	for i := 0; i < 600; i++ {
+		s.Tick(time.Minute, 0, 0) // no processing at all
+	}
+	if s.DroppedGB() <= 0 {
+		t.Error("overflow should drop data")
+	}
+	if s.Backlog() > 1+1e-9 {
+		t.Errorf("backlog %v exceeds cap", s.Backlog())
+	}
+	if s.ArrivedGB() <= s.DroppedGB() {
+		t.Error("arrival accounting inconsistent")
+	}
+}
+
+func TestStreamConservation(t *testing.T) {
+	s := NewStreamQueue(Video())
+	for i := 0; i < 300; i++ {
+		s.Tick(time.Minute, 4.0/60, 4)
+	}
+	total := s.ProcessedGB() + s.Backlog() + s.DroppedGB()
+	if math.Abs(total-s.ArrivedGB()) > 1e-6 {
+		t.Errorf("conservation violated: in=%v out=%v", s.ArrivedGB(), total)
+	}
+}
+
+func TestIterativeSource(t *testing.T) {
+	it := NewIterativeSource(Dedup())
+	got := it.Tick(4, 4) // 4 VM-hours at 4 VMs
+	want := Dedup().Rate(4, 1)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("iterative tick = %v, want %v", got, want)
+	}
+	if it.ProcessedGB() != got {
+		t.Error("processed accounting wrong")
+	}
+}
+
+func TestMicroSuite(t *testing.T) {
+	suite := MicroSuite()
+	if len(suite) != 6 {
+		t.Fatalf("suite size = %d, want 6 kernels", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, s := range suite {
+		if s.Kind != Micro {
+			t.Errorf("%s kind = %v", s.Name, s.Kind)
+		}
+		if s.Util <= 0 || s.Util > 1 || s.BaseRate <= 0 || s.Alpha <= 0 || s.Alpha > 1 {
+			t.Errorf("%s has implausible parameters: %+v", s.Name, s)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate kernel %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestTable7Profiles(t *testing.T) {
+	rows := Table7Profiles()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 kernels × 2 architectures)", len(rows))
+	}
+	byKey := map[string]ExecProfile{}
+	for _, r := range rows {
+		byKey[r.Workload+"/"+r.Server] = r
+	}
+	// Paper's headline: the i7 processes 5–15× more data per unit energy.
+	for _, name := range []string{"dedup", "x264", "bayes"} {
+		xeon := byKey[name+"/Xeon 3.2G"]
+		i7 := byKey[name+"/Core i7"]
+		ratio := i7.DataPerKWh() / xeon.DataPerKWh()
+		if ratio < 4 || ratio > 20 {
+			t.Errorf("%s: i7 efficiency advantage = %.1fx, want 5–15x regime", name, ratio)
+		}
+	}
+	// Specific calibration anchors from Table 7.
+	dedup := byKey["dedup/Xeon 3.2G"]
+	if math.Abs(dedup.DataPerKWh()-277) > 30 {
+		t.Errorf("Xeon dedup = %.0f GB/kWh, paper reports 277", dedup.DataPerKWh())
+	}
+	bayesI7 := byKey["bayes/Core i7"]
+	if bayesI7.ExecTime < 600*time.Second || bayesI7.ExecTime > 720*time.Second {
+		t.Errorf("i7 bayes exec time = %v, paper reports 662 s", bayesI7.ExecTime)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Batch.String() != "batch" || Stream.String() != "stream" || Micro.String() != "micro" {
+		t.Error("kind names wrong")
+	}
+	if Kind(7).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestBatchQueueConservationProperty(t *testing.T) {
+	// Property: processed + pending always equals the total enqueued.
+	f := func(sizes []uint8, work []uint8) bool {
+		q := NewBatchQueue(Seismic())
+		var total float64
+		for i, s := range sizes {
+			size := float64(s%100) + 1
+			total += size
+			q.Add(time.Duration(i)*time.Minute, size)
+		}
+		var done float64
+		for _, w := range work {
+			done += q.Tick(time.Hour, float64(w%20), 4)
+		}
+		sum := done + q.PendingGB()
+		return sum > total-1e-6 && sum < total+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
