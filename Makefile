@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench bench-json experiments clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis, a clean build, and the full test
+# suite under the race detector (the parallel experiment engine and campaign
+# runner are exercised concurrently there).
+check: vet build race
+
+# bench runs the simulation hot-path and experiment benchmarks.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSystemTick|BenchmarkFullDaySimulation|BenchmarkBattery' -benchmem .
+
+# bench-json writes the machine-readable performance report.
+bench-json:
+	$(GO) run ./cmd/insure-bench -bench-json BENCH.json
+
+# experiments regenerates every table/figure of the paper on the parallel
+# engine (byte-identical to the serial engine).
+experiments:
+	$(GO) run ./cmd/insure-bench -exp all
+
+clean:
+	rm -f BENCH.json

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"insure/internal/core"
+	"insure/internal/experiments"
+	"insure/internal/sim"
+	"insure/internal/trace"
+)
+
+// benchCase is one micro/macro benchmark result in BENCH.json.
+type benchCase struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// engineTiming compares the serial and parallel experiment engines on one
+// full evaluation each.
+type engineTiming struct {
+	Workers         int     `json:"workers"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// benchReport is the BENCH.json document.
+type benchReport struct {
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Benchmarks []benchCase  `json:"benchmarks"`
+	Engine     engineTiming `json:"experiment_engine"`
+}
+
+// record converts a testing.BenchmarkResult, carrying through any domain
+// metrics reported with b.ReportMetric.
+func record(name string, r testing.BenchmarkResult) benchCase {
+	c := benchCase{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		c.Metrics = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			c.Metrics[k] = v
+		}
+	}
+	return c
+}
+
+// writeBenchJSON runs the performance suite — the simulation hot path, a
+// full-day macro run with domain metrics, and a serial-vs-parallel timing of
+// the whole evaluation — and writes the machine-readable report.
+func writeBenchJSON(path string, workers int) error {
+	rep := benchReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	fmt.Fprintln(os.Stderr, "benchmarking simulation hot path...")
+	rep.Benchmarks = append(rep.Benchmarks,
+		record("system_tick", testing.Benchmark(benchSystemTick)),
+		record("plc_scan", testing.Benchmark(benchPLCScan)),
+		record("full_day_insure", testing.Benchmark(benchFullDay)),
+	)
+
+	fmt.Fprintln(os.Stderr, "timing serial experiment engine...")
+	t0 := time.Now()
+	serialTables := experiments.RunAll()
+	rep.Engine.SerialSeconds = time.Since(t0).Seconds()
+
+	fmt.Fprintln(os.Stderr, "timing parallel experiment engine...")
+	t1 := time.Now()
+	parallelTables, err := experiments.RunAllParallel(context.Background(), workers)
+	if err != nil {
+		return err
+	}
+	rep.Engine.ParallelSeconds = time.Since(t1).Seconds()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep.Engine.Workers = workers
+	if rep.Engine.ParallelSeconds > 0 {
+		rep.Engine.Speedup = rep.Engine.SerialSeconds / rep.Engine.ParallelSeconds
+	}
+	if len(serialTables) != len(parallelTables) {
+		return fmt.Errorf("engine mismatch: serial produced %d tables, parallel %d",
+			len(serialTables), len(parallelTables))
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (tick %.0f ns/op, %d allocs/op; engine speedup %.2fx on %d workers)\n",
+		path, rep.Benchmarks[0].NsPerOp, rep.Benchmarks[0].AllocsPerOp,
+		rep.Engine.Speedup, rep.Engine.Workers)
+	return nil
+}
+
+func newBenchSystem(b *testing.B) (*sim.System, sim.Manager) {
+	cfg := sim.DefaultConfig(trace.FullSystemHigh())
+	sys, err := sim.New(cfg, sim.NewSeismicSink())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, core.New(core.DefaultConfig(), cfg.BatteryCount)
+}
+
+func benchSystemTick(b *testing.B) {
+	sys, mgr := newBenchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tod := 8*time.Hour + time.Duration(i%40000)*time.Second
+		sys.Tick(tod, mgr)
+	}
+}
+
+func benchPLCScan(b *testing.B) {
+	sys, _ := newBenchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.PLC.ScanNow()
+	}
+}
+
+func benchFullDay(b *testing.B) {
+	tr := trace.FullSystemHigh()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(tr)
+		sys, err := sim.New(cfg, sim.NewSeismicSink())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := sys.Run(core.New(core.DefaultConfig(), cfg.BatteryCount))
+		b.ReportMetric(res.UptimeFrac*100, "uptime_pct")
+		b.ReportMetric(res.ProcessedGB, "gb_per_day")
+		b.ReportMetric(float64(res.WearAhPerUnit), "wear_ah_per_unit")
+	}
+}

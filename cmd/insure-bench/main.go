@@ -2,12 +2,15 @@
 //
 // Usage:
 //
-//	insure-bench -exp all          # every experiment
+//	insure-bench -exp all          # every experiment (parallel by default)
 //	insure-bench -exp fig17        # one experiment
 //	insure-bench -list             # list experiment IDs
+//	insure-bench -parallel=false   # force the serial engine
+//	insure-bench -bench-json BENCH.json   # machine-readable perf suite
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +26,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment ID to run, or 'all'")
 	list := flag.Bool("list", false, "list available experiment IDs")
 	format := flag.String("format", "text", "output format: text, csv, markdown")
+	parallel := flag.Bool("parallel", true, "run 'all' on a worker pool (output is byte-identical to serial)")
+	workers := flag.Int("workers", 0, "worker pool size for -parallel; 0 = GOMAXPROCS")
+	benchJSON := flag.String("bench-json", "", "run the performance suite and write machine-readable results to this path")
 	flag.Parse()
 
 	if *list {
@@ -31,8 +37,24 @@ func main() {
 		}
 		return
 	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if strings.EqualFold(*exp, "all") {
-		for _, tbl := range experiments.RunAll() {
+		var tables []*experiments.Table
+		if *parallel {
+			var err error
+			tables, err = experiments.RunAllParallel(context.Background(), *workers)
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			tables = experiments.RunAll()
+		}
+		for _, tbl := range tables {
 			if err := tbl.RenderAs(os.Stdout, *format); err != nil {
 				log.Fatal(err)
 			}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -35,6 +36,7 @@ func main() {
 	wl := flag.String("workload", "seismic", "workload: seismic, video")
 	policy := flag.String("policy", "insure", "power manager: insure, baseline")
 	compare := flag.Bool("compare", false, "run both managers on the identical trace")
+	parallel := flag.Bool("parallel", true, "run -compare's two managers concurrently (results are identical to serial)")
 	seed := flag.Int64("seed", 2015, "trace seed")
 	peak := flag.Float64("peak", 0, "scale trace to this peak power (W); 0 = natural")
 	energy := flag.Float64("energy", 0, "scale trace to this total energy (kWh); 0 = natural")
@@ -103,21 +105,25 @@ func main() {
 			return nil
 		}
 	}
-	run := func(name string) sim.Result {
-		cfg := sim.DefaultConfig(tr)
-		cfg.BatteryCount = *batteries
-		cfg.ServerCount = *servers
-		sys, err := sim.New(cfg, mkSink())
-		if err != nil {
-			log.Fatal(err)
+	// setup builds one fully-wired run; the returned System is also recorded
+	// in *out so the dump flags can read its recorder and logbook afterwards.
+	setup := func(name string, out **sim.System) func() (*sim.System, sim.Manager, error) {
+		return func() (*sim.System, sim.Manager, error) {
+			cfg := sim.DefaultConfig(tr)
+			cfg.BatteryCount = *batteries
+			cfg.ServerCount = *servers
+			sys, err := sim.New(cfg, mkSink())
+			if err != nil {
+				return nil, nil, err
+			}
+			*out = sys
+			if name == "baseline" {
+				return sys, baseline.New(baseline.DefaultConfig()), nil
+			}
+			return sys, core.New(core.DefaultConfig(), cfg.BatteryCount), nil
 		}
-		var mgr sim.Manager
-		if name == "baseline" {
-			mgr = baseline.New(baseline.DefaultConfig())
-		} else {
-			mgr = core.New(core.DefaultConfig(), cfg.BatteryCount)
-		}
-		res := sys.Run(mgr)
+	}
+	dump := func(name string, sys *sim.System) {
 		if *dumpFrames != "" {
 			path := *dumpFrames
 			if *compare {
@@ -143,6 +149,15 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+	}
+	run := func(name string) sim.Result {
+		var sys *sim.System
+		s, mgr, err := setup(name, &sys)()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := s.Run(mgr)
+		dump(name, sys)
 		return res
 	}
 
@@ -163,8 +178,25 @@ func main() {
 	}
 
 	if *compare {
-		report(run("insure"))
-		report(run("baseline"))
+		if *parallel {
+			names := []string{"insure", "baseline"}
+			systems := make([]*sim.System, len(names))
+			runs := make([]sim.CampaignRun, len(names))
+			for i, name := range names {
+				runs[i] = sim.CampaignRun{Name: name, Setup: setup(name, &systems[i])}
+			}
+			results, err := sim.RunCampaign(context.Background(), 0, runs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i, name := range names {
+				dump(name, systems[i])
+				report(results[i])
+			}
+		} else {
+			report(run("insure"))
+			report(run("baseline"))
+		}
 		return
 	}
 	report(run(*policy))

@@ -160,6 +160,14 @@ type Manager struct {
 	screenings  int
 	capEvents   int
 	boostEvents int
+
+	// Reusable scratch for the control pass. Control runs 1,380 times per
+	// simulated day across every experiment, so its group queries and
+	// membership sets must not allocate (see DESIGN.md's performance notes).
+	scratchA []int
+	scratchB []int
+	memberA  []bool
+	memberB  []bool
 }
 
 var _ sim.Manager = (*Manager)(nil)
@@ -433,7 +441,7 @@ func (m *Manager) retireDrainedUnits(sys *sim.System) {
 // no green budget go online anyway once they hold usable charge — on a
 // rainy day waiting for 90% would starve the servers forever.
 func (m *Manager) promoteChargedUnits(sys *sim.System) {
-	active := map[int]bool{}
+	active := m.memberSet(&m.memberA)
 	for _, i := range m.activeCharge {
 		active[i] = true
 	}
@@ -605,11 +613,12 @@ func (m *Manager) assignDischargeSet(sys *sim.System, now time.Duration) {
 	if sys.Cluster.AnyRunning() && need == 0 {
 		need = 1 // always one unit of spinning reserve while serving
 	}
-	avail := len(m.unitsIn(GroupDischarging)) + len(m.unitsIn(GroupStandby))
+	avail := m.countIn(GroupDischarging) + m.countIn(GroupStandby)
 	if need > avail {
 		// Serving the load outranks charging: draft the highest-SoC units
 		// out of the charging group.
-		charging := m.unitsIn(GroupCharging)
+		charging := m.appendUnitsIn(m.scratchA[:0], GroupCharging)
+		m.scratchA = charging
 		for a := 0; a < len(charging); a++ {
 			for b := a + 1; b < len(charging); b++ {
 				if estSoC(sys, charging[b]) > estSoC(sys, charging[a]) {
@@ -632,20 +641,24 @@ func (m *Manager) assignDischargeSet(sys *sim.System, now time.Duration) {
 	}
 
 	// Currently connected units, most-worn first, disconnect when surplus.
-	connected := m.unitsIn(GroupDischarging)
+	connected := m.appendUnitsIn(m.scratchA[:0], GroupDischarging)
+	m.scratchA = connected
 	if len(connected) > need {
 		m.sortByAhDesc(connected)
 		for _, i := range connected[:len(connected)-need] {
 			m.groups[i] = GroupStandby // rest → recovery effect
 		}
 	} else if len(connected) < need {
-		standby := m.unitsIn(GroupStandby)
+		standby := m.appendUnitsIn(m.scratchB[:0], GroupStandby)
+		m.scratchB = standby
 		m.sortByAhAsc(standby)
+		ndis := len(connected)
 		for _, i := range standby {
-			if len(m.unitsIn(GroupDischarging)) >= need {
+			if ndis >= need {
 				break
 			}
 			m.groups[i] = GroupDischarging
+			ndis++
 		}
 	}
 }
@@ -670,11 +683,12 @@ func (m *Manager) assignChargeSet(sys *sim.System) {
 			n = 1 // trickle of budget still charges one unit
 		}
 	}
-	group := m.unitsIn(GroupCharging)
+	group := m.appendUnitsIn(m.scratchA[:0], GroupCharging)
+	m.scratchA = group
 	if n > len(group) {
 		n = len(group)
 	}
-	inGroup := map[int]bool{}
+	inGroup := m.memberSet(&m.memberA)
 	for _, i := range group {
 		inGroup[i] = true
 	}
@@ -689,16 +703,17 @@ func (m *Manager) assignChargeSet(sys *sim.System) {
 	}
 	m.activeCharge = kept
 	if len(m.activeCharge) < n {
-		active := map[int]bool{}
+		active := m.memberSet(&m.memberB)
 		for _, i := range m.activeCharge {
 			active[i] = true
 		}
-		var candidates []int
+		candidates := m.scratchB[:0]
 		for _, i := range group {
 			if !active[i] {
 				candidates = append(candidates, i)
 			}
 		}
+		m.scratchB = candidates
 		for a := 0; a < len(candidates); a++ {
 			for b := a + 1; b < len(candidates); b++ {
 				if estSoC(sys, candidates[b]) < estSoC(sys, candidates[a]) {
@@ -765,7 +780,7 @@ func (m *Manager) temporalCap(sys *sim.System) {
 // applyModes writes the group decisions to the PLC coils and logs mode
 // transitions to the deployment logbook.
 func (m *Manager) applyModes(sys *sim.System, now time.Duration) {
-	chargingNow := map[int]bool{}
+	chargingNow := m.memberSet(&m.memberA)
 	for _, i := range m.activeCharge {
 		chargingNow[i] = true
 	}
@@ -798,6 +813,40 @@ func (m *Manager) unitsIn(g Group) []int {
 		}
 	}
 	return out
+}
+
+// appendUnitsIn is unitsIn into a reusable buffer (pass buf[:0]).
+func (m *Manager) appendUnitsIn(dst []int, g Group) []int {
+	for i, gi := range m.groups {
+		if gi == g {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// countIn counts units in group g without materialising the index list.
+func (m *Manager) countIn(g Group) int {
+	n := 0
+	for _, gi := range m.groups {
+		if gi == g {
+			n++
+		}
+	}
+	return n
+}
+
+// memberSet returns *buf sized to the unit count with every entry false —
+// a reusable replacement for the per-call map[int]bool membership sets.
+func (m *Manager) memberSet(buf *[]bool) []bool {
+	if cap(*buf) < len(m.groups) {
+		*buf = make([]bool, len(m.groups))
+	}
+	s := (*buf)[:len(m.groups)]
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 func (m *Manager) sortByAhAsc(idx []int) {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"insure/internal/baseline"
@@ -19,24 +21,39 @@ func init() {
 	register("fig21", Fig21)
 }
 
-// comparePair runs InSURE and the baseline on identical traces and
-// workloads (the paper's §5 paired-trace methodology) and returns both
+// pairRuns builds the two campaign runs of the paper's §5 paired-trace
+// methodology: InSURE and the baseline on identical traces and workloads.
+// The trace is shared read-only; everything else is built per run inside
+// the worker.
+func pairRuns(name string, tr *trace.Trace, mk func() sim.Sink) []sim.CampaignRun {
+	return []sim.CampaignRun{
+		{Name: name + "/insure", Setup: func() (*sim.System, sim.Manager, error) {
+			cfg := sim.DefaultConfig(tr)
+			sys, err := sim.New(cfg, mk())
+			if err != nil {
+				return nil, nil, err
+			}
+			return sys, core.New(core.DefaultConfig(), cfg.BatteryCount), nil
+		}},
+		{Name: name + "/baseline", Setup: func() (*sim.System, sim.Manager, error) {
+			cfg := sim.DefaultConfig(tr)
+			sys, err := sim.New(cfg, mk())
+			if err != nil {
+				return nil, nil, err
+			}
+			return sys, baseline.New(baseline.DefaultConfig()), nil
+		}},
+	}
+}
+
+// comparePair runs one InSURE/baseline pair concurrently and returns both
 // results.
 func comparePair(tr *trace.Trace, mk func() sim.Sink) (opt, base sim.Result) {
-	cfgA := sim.DefaultConfig(tr)
-	sysA, err := sim.New(cfgA, mk())
+	res, err := sim.RunCampaign(context.Background(), 0, pairRuns("pair", tr, mk))
 	if err != nil {
 		panic(err)
 	}
-	opt = sysA.Run(core.New(core.DefaultConfig(), cfgA.BatteryCount))
-
-	cfgB := sim.DefaultConfig(tr)
-	sysB, err := sim.New(cfgB, mk())
-	if err != nil {
-		panic(err)
-	}
-	base = sysB.Run(baseline.New(baseline.DefaultConfig()))
-	return opt, base
+	return res[0], res[1]
 }
 
 // microPair runs one micro kernel under both managers on the given trace.
@@ -58,7 +75,11 @@ func lifeImprovement(opt, base sim.Result) float64 {
 }
 
 // microSuiteTable renders one of Figs 17–19: a per-kernel improvement of
-// the chosen metric at both solar levels, plus the average.
+// the chosen metric at both solar levels, plus the average. The whole
+// kernel × trace × manager sweep is flattened into one campaign; the rows
+// and averages are assembled from the positional results in the exact order
+// the old serial loop produced them, so the rendered table is byte-identical
+// either way.
 func microSuiteTable(id, title string, metric func(opt, base sim.Result) float64) *Table {
 	t := &Table{
 		ID:     id,
@@ -66,13 +87,25 @@ func microSuiteTable(id, title string, metric func(opt, base sim.Result) float64
 		Header: []string{"benchmark", "high solar generation", "low solar generation"},
 	}
 	traces := []*trace.Trace{trace.HighGeneration(), trace.LowGeneration()}
-	var sums [2]float64
 	suite := workload.MicroSuite()
+	var runs []sim.CampaignRun
 	for _, spec := range suite {
-		row := []string{spec.Name}
+		spec := spec
 		for ti, tr := range traces {
-			opt, base := microPair(spec, tr)
-			imp := metric(opt, base)
+			runs = append(runs, pairRuns(fmt.Sprintf("%s/%s/t%d", id, spec.Name, ti), tr,
+				func() sim.Sink { return sim.NewMicroSink(spec) })...)
+		}
+	}
+	res, err := sim.RunCampaign(context.Background(), 0, runs)
+	if err != nil {
+		panic(err)
+	}
+	var sums [2]float64
+	for si, spec := range suite {
+		row := []string{spec.Name}
+		for ti := range traces {
+			j := (si*len(traces) + ti) * 2
+			imp := metric(res[j], res[j+1])
 			sums[ti] += imp
 			row = append(row, pct(imp))
 		}
@@ -137,8 +170,14 @@ func fullSystemTable(id, title string, mk func() sim.Sink) *Table {
 			return math.Min(metrics.Improvement(o.PerfPerAh, b.PerfPerAh), 3)
 		}},
 	}
-	optHigh, baseHigh := comparePair(trace.FullSystemHigh(), mk)
-	optLow, baseLow := comparePair(trace.FullSystemLow(), mk)
+	runs := append(pairRuns(id+"/high", trace.FullSystemHigh(), mk),
+		pairRuns(id+"/low", trace.FullSystemLow(), mk)...)
+	res, err := sim.RunCampaign(context.Background(), 0, runs)
+	if err != nil {
+		panic(err)
+	}
+	optHigh, baseHigh := res[0], res[1]
+	optLow, baseLow := res[2], res[3]
 	for _, mm := range ms {
 		t.Rows = append(t.Rows, []string{
 			mm.name,

@@ -86,6 +86,13 @@ func IDs() []string {
 }
 
 // Run executes one experiment by ID.
+//
+// The returned Table is freshly built on every call and owned by the caller:
+// no runner retains a reference, so mutating or rendering it concurrently
+// with other experiment runs is safe. (Runners hold no shared mutable
+// package state — the registry is read-only after init, weather/sky RNG is
+// per-instance, and table7Inputs-style package data is never written — which
+// is what makes RunAllParallel sound.)
 func Run(id string) (*Table, error) {
 	r, ok := registry[strings.ToLower(id)]
 	if !ok {
@@ -94,7 +101,9 @@ func Run(id string) (*Table, error) {
 	return r(), nil
 }
 
-// RunAll executes every experiment in sorted ID order.
+// RunAll executes every experiment serially in sorted ID order. The tables
+// are caller-owned, like Run's. RunAllParallel produces identical output on
+// a worker pool.
 func RunAll() []*Table {
 	var out []*Table
 	for _, id := range IDs() {

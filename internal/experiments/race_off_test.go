@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; some
+// full-evaluation tests are too slow to run twice under it.
+const raceEnabled = false

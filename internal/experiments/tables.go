@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -133,21 +134,40 @@ func Table6() *Table {
 		{"Cloudy (5.9 kWh)", solar.Cloudy},
 		{"Rainy (3.0 kWh)", solar.Rainy},
 	}
+	// All six day-long runs (3 weather days × 2 schemes) go through one
+	// campaign; rows are assembled from the positional results in the same
+	// day-major, Non-Opt-first order the serial loop used.
+	var runs []sim.CampaignRun
 	for _, d := range days {
 		tr := trace.Table6Day(d.cond, 77)
 		for _, opt := range []bool{false, true} {
-			cfg := sim.DefaultConfig(tr)
-			sys, err := sim.New(cfg, sim.NewSeismicSink())
-			if err != nil {
-				panic(err)
-			}
-			var res sim.Result
+			opt := opt
+			runs = append(runs, sim.CampaignRun{
+				Name: fmt.Sprintf("table6/%s/opt=%v", d.name, opt),
+				Setup: func() (*sim.System, sim.Manager, error) {
+					cfg := sim.DefaultConfig(tr)
+					sys, err := sim.New(cfg, sim.NewSeismicSink())
+					if err != nil {
+						return nil, nil, err
+					}
+					if opt {
+						return sys, core.New(core.DefaultConfig(), cfg.BatteryCount), nil
+					}
+					return sys, baseline.New(baseline.DefaultConfig()), nil
+				},
+			})
+		}
+	}
+	results, err := sim.RunCampaign(context.Background(), 0, runs)
+	if err != nil {
+		panic(err)
+	}
+	for di, d := range days {
+		for oi, opt := range []bool{false, true} {
+			res := results[di*2+oi]
 			scheme := "Non-Opt."
 			if opt {
-				res = sys.Run(core.New(core.DefaultConfig(), cfg.BatteryCount))
 				scheme = "Opt."
-			} else {
-				res = sys.Run(baseline.New(baseline.DefaultConfig()))
 			}
 			t.Rows = append(t.Rows, []string{
 				d.name, scheme,

@@ -76,6 +76,17 @@ func NewRegisterFile(coils, discrete, holding, input int) *RegisterFile {
 	}
 }
 
+// Coil returns a single coil state without allocating. The scan cycle's
+// actuation pass uses it so a steady-state scan stays allocation-free.
+func (r *RegisterFile) Coil(addr uint16) (bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if int(addr) >= len(r.coils) {
+		return false, ErrAddress
+	}
+	return r.coils[addr], nil
+}
+
 // ReadCoils returns count coil states starting at addr.
 func (r *RegisterFile) ReadCoils(addr, count uint16) ([]bool, error) {
 	r.mu.RLock()

@@ -214,6 +214,18 @@ func (f *Fabric) UnitsIn(m Mode) []int {
 	return idx
 }
 
+// AppendUnitsIn appends the indices currently in the given mode to dst and
+// returns it. Passing dst[:0] with capacity Size() makes the per-tick mode
+// query allocation-free, which the simulation hot path relies on.
+func (f *Fabric) AppendUnitsIn(dst []int, m Mode) []int {
+	for i, p := range f.pairs {
+		if p.Mode() == m {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
 // TotalCycles sums mechanical cycles across the whole network, a proxy for
 // switch-fabric wear.
 func (f *Fabric) TotalCycles() int64 {

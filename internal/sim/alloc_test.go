@@ -1,0 +1,70 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"insure/internal/core"
+	"insure/internal/sim"
+	"insure/internal/trace"
+)
+
+// newSteadySystem builds a full-system plant and advances it into the
+// operating window so relays are settled and the cluster is serving.
+func newSteadySystem(t *testing.T) (*sim.System, sim.Manager) {
+	t.Helper()
+	cfg := sim.DefaultConfig(trace.FullSystemHigh())
+	sys, err := sim.New(cfg, sim.NewSeismicSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := core.New(core.DefaultConfig(), cfg.BatteryCount)
+	for tod := 5 * time.Hour; tod < 8*time.Hour; tod += cfg.Step {
+		sys.Tick(tod, mgr)
+	}
+	return sys, mgr
+}
+
+// TestTickAllocFree pins the steady-state tick — solar lookup, PLC scan,
+// relay query, battery step, workload accounting, recorder capture — at zero
+// allocations. The manager is excluded here (its control pass may log mode
+// transitions on event boundaries); TestTickWithManagerAllocBound covers it.
+func TestTickAllocFree(t *testing.T) {
+	sys, _ := newSteadySystem(t)
+	tod := 8 * time.Hour
+	step := sys.Config().Step
+	if n := testing.AllocsPerRun(2000, func() {
+		sys.Tick(tod, nil)
+		tod += step
+	}); n != 0 {
+		t.Fatalf("steady-state System.Tick allocates %.2f times per call, want 0", n)
+	}
+}
+
+// TestScanNowAllocFree pins the wired PLC scan cycle — sensor transduction
+// into input registers plus coil-driven relay actuation — at zero
+// allocations.
+func TestScanNowAllocFree(t *testing.T) {
+	sys, _ := newSteadySystem(t)
+	if n := testing.AllocsPerRun(2000, func() {
+		sys.PLC.ScanNow()
+	}); n != 0 {
+		t.Fatalf("wired PLC.ScanNow allocates %.2f times per call, want 0", n)
+	}
+}
+
+// TestTickWithManagerAllocBound runs the full tick including the InSURE
+// control pass and bounds the amortised allocation rate: control fires every
+// 30 ticks and may append to the logbook on relay-mode transitions, but the
+// steady path must stay far below one allocation per tick.
+func TestTickWithManagerAllocBound(t *testing.T) {
+	sys, mgr := newSteadySystem(t)
+	tod := 8 * time.Hour
+	step := sys.Config().Step
+	if n := testing.AllocsPerRun(3000, func() {
+		sys.Tick(tod, mgr)
+		tod += step
+	}); n > 0.5 {
+		t.Fatalf("managed System.Tick allocates %.2f times per call, want <= 0.5", n)
+	}
+}

@@ -1,0 +1,117 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"insure/internal/baseline"
+	"insure/internal/core"
+	"insure/internal/sim"
+	"insure/internal/trace"
+)
+
+// pairCampaign builds a 4-run campaign: both managers on both full-system
+// traces, the same shape the Fig 20/21 runners use.
+func pairCampaign() []sim.CampaignRun {
+	var runs []sim.CampaignRun
+	for _, tc := range []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"high", trace.FullSystemHigh()},
+		{"low", trace.FullSystemLow()},
+	} {
+		tr := tc.tr
+		runs = append(runs,
+			sim.CampaignRun{Name: tc.name + "/insure", Setup: func() (*sim.System, sim.Manager, error) {
+				cfg := sim.DefaultConfig(tr)
+				sys, err := sim.New(cfg, sim.NewSeismicSink())
+				if err != nil {
+					return nil, nil, err
+				}
+				return sys, core.New(core.DefaultConfig(), cfg.BatteryCount), nil
+			}},
+			sim.CampaignRun{Name: tc.name + "/baseline", Setup: func() (*sim.System, sim.Manager, error) {
+				cfg := sim.DefaultConfig(tr)
+				sys, err := sim.New(cfg, sim.NewSeismicSink())
+				if err != nil {
+					return nil, nil, err
+				}
+				return sys, baseline.New(baseline.DefaultConfig()), nil
+			}},
+		)
+	}
+	return runs
+}
+
+// TestRunCampaignMatchesSerial pins the engine's core guarantee: concurrent
+// execution returns, position for position, exactly the Results a serial
+// loop over the same runs produces.
+func TestRunCampaignMatchesSerial(t *testing.T) {
+	runs := pairCampaign()
+	want := make([]sim.Result, len(runs))
+	for i, r := range runs {
+		sys, mgr, err := r.Setup()
+		if err != nil {
+			t.Fatalf("setup %s: %v", r.Name, err)
+		}
+		want[i] = sys.Run(mgr)
+	}
+
+	got, err := sim.RunCampaign(context.Background(), 4, pairCampaign())
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("run %d (%s): parallel result differs from serial\n got: %+v\nwant: %+v",
+				i, runs[i].Name, got[i], want[i])
+		}
+	}
+}
+
+func TestRunCampaignSetupError(t *testing.T) {
+	sentinel := errors.New("boom")
+	runs := []sim.CampaignRun{{
+		Name:  "broken",
+		Setup: func() (*sim.System, sim.Manager, error) { return nil, nil, sentinel },
+	}}
+	_, err := sim.RunCampaign(context.Background(), 1, runs)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want wrapped sentinel error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("error should carry the run name, got %v", err)
+	}
+}
+
+func TestRunCampaignPanicBecomesError(t *testing.T) {
+	runs := []sim.CampaignRun{{
+		Name:  "panicky",
+		Setup: func() (*sim.System, sim.Manager, error) { panic("kaboom") },
+	}}
+	_, err := sim.RunCampaign(context.Background(), 1, runs)
+	if err == nil {
+		t.Fatal("want error from panicking run")
+	}
+	for _, want := range []string{"panicky", "kaboom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should contain %q", err, want)
+		}
+	}
+}
+
+func TestRunCampaignCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sim.RunCampaign(ctx, 1, pairCampaign())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -20,13 +20,37 @@ type Frame struct {
 	RunningVM int
 }
 
-// Recorder accumulates frames over a run.
+// Recorder accumulates frames over a run. Per-unit samples live in flat
+// backing arrays that each Frame sub-slices, so a capture whose capacity was
+// pre-sized (see NewRecorderSized) performs no allocation — the recorder is
+// part of the zero-alloc tick invariant.
 type Recorder struct {
 	frames []Frame
+	volts  []units.Volt
+	socs   []float64
+	modes  []relay.Mode
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty recorder that grows on demand.
 func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewRecorderSized returns a recorder pre-sized for the expected number of
+// frames over a run of a plant with nUnits battery units. Captures within
+// the estimate are allocation-free; beyond it the recorder grows as usual.
+func NewRecorderSized(frames, nUnits int) *Recorder {
+	if frames < 0 {
+		frames = 0
+	}
+	if nUnits < 0 {
+		nUnits = 0
+	}
+	return &Recorder{
+		frames: make([]Frame, 0, frames),
+		volts:  make([]units.Volt, 0, frames*nUnits),
+		socs:   make([]float64, 0, frames*nUnits),
+		modes:  make([]relay.Mode, 0, frames*nUnits),
+	}
+}
 
 // Frames returns the captured series.
 func (r *Recorder) Frames() []Frame { return r.frames }
@@ -38,16 +62,19 @@ func (r *Recorder) capture(tod time.Duration, s *System) {
 		Solar:     s.solarNow,
 		Load:      s.loadNow,
 		StoredWh:  s.Bank.StoredEnergy(),
-		Volts:     make([]units.Volt, n),
-		SoCs:      make([]float64, n),
-		Modes:     make([]relay.Mode, n),
 		RunningVM: s.Cluster.RunningVMs(),
 	}
+	vb, sb, mb := len(r.volts), len(r.socs), len(r.modes)
 	for i := 0; i < n; i++ {
 		u := s.Bank.Unit(i)
-		f.Volts[i] = u.TerminalVoltage()
-		f.SoCs[i] = u.SoC()
-		f.Modes[i] = s.Fabric.Pair(i).Mode()
+		r.volts = append(r.volts, u.TerminalVoltage())
+		r.socs = append(r.socs, u.SoC())
+		r.modes = append(r.modes, s.Fabric.Pair(i).Mode())
 	}
+	// Full-capacity sub-slices: a later append that grows the backing array
+	// copies it elsewhere, leaving these views intact and immutable.
+	f.Volts = r.volts[vb : vb+n : vb+n]
+	f.SoCs = r.socs[sb : sb+n : sb+n]
+	f.Modes = r.modes[mb : mb+n : mb+n]
 	r.frames = append(r.frames, f)
 }

@@ -150,6 +150,18 @@ type System struct {
 
 	auxEnergy units.WattHour
 
+	// solarLUT is the trace resampled onto the simulation step, built once
+	// in New: solarLUT[i] is the supply at time-of-day i·Step. Tick reads it
+	// with one index instead of walking the trace, falling back to Trace.At
+	// for off-step queries so results stay bit-identical.
+	solarLUT []units.Watt
+
+	// Scratch buffers reused every tick so the steady-state hot path stays
+	// allocation-free (the zero-alloc tick invariant, see DESIGN.md).
+	scratchCharging    []int
+	scratchDischarging []int
+	scratchOpen        []int
+
 	// Accounting.
 	harvested     units.WattHour // solar energy actually used (load+charge)
 	curtailed     units.WattHour // solar energy with nowhere to go
@@ -189,18 +201,24 @@ func New(cfg Config, sink Sink) (*System, error) {
 	} else if bank.Size() != cfg.BatteryCount {
 		return nil, fmt.Errorf("sim: supplied bank has %d units, config wants %d", bank.Size(), cfg.BatteryCount)
 	}
+	start, end := runSpan(cfg)
+	estFrames := int((end-start)/cfg.RecordEvery) + 4
 	s := &System{
-		cfg:          cfg,
-		Bank:         bank,
-		Fabric:       relay.NewFabric(cfg.BatteryCount),
-		PLC:          plc.New(cfg.BatteryCount),
-		Cluster:      server.NewCluster(cfg.ServerProfile, cfg.ServerCount),
-		Sink:         sink,
-		storedSeries: metrics.NewStreamingSeries(),
-		voltSeries:   metrics.NewStreamingSeries(),
-		minVolt:      99,
-		recorder:     NewRecorder(),
+		cfg:                cfg,
+		Bank:               bank,
+		Fabric:             relay.NewFabric(cfg.BatteryCount),
+		PLC:                plc.New(cfg.BatteryCount),
+		Cluster:            server.NewCluster(cfg.ServerProfile, cfg.ServerCount),
+		Sink:               sink,
+		storedSeries:       metrics.NewStreamingSeries(),
+		voltSeries:         metrics.NewStreamingSeries(),
+		minVolt:            99,
+		recorder:           NewRecorderSized(estFrames, cfg.BatteryCount),
+		scratchCharging:    make([]int, 0, cfg.BatteryCount),
+		scratchDischarging: make([]int, 0, cfg.BatteryCount),
+		scratchOpen:        make([]int, 0, cfg.BatteryCount),
 	}
+	s.buildSolarLUT(end)
 	s.Secondary = cfg.Secondary
 	s.Log = logbook.New(200_000)
 	for i := 0; i < cfg.BatteryCount; i++ {
@@ -212,6 +230,48 @@ func New(cfg Config, sink Sink) (*System, error) {
 	// samples rather than zeroed registers.
 	s.PLC.ScanNow()
 	return s, nil
+}
+
+// runSpan is the [start, end) window a full-day Run covers: from two hours
+// before the operating window (or one hour before the trace starts,
+// whichever is earlier) to one hour past the operating window.
+func runSpan(cfg Config) (start, end time.Duration) {
+	start = cfg.WindowStart - 2*time.Hour
+	if cfg.Trace != nil {
+		if t := cfg.Trace.Start - time.Hour; t < start {
+			start = t
+		}
+	}
+	return start, cfg.WindowEnd + time.Hour
+}
+
+// buildSolarLUT resamples the trace onto the simulation step once, covering
+// time-of-day zero through end, so the per-tick supply query is one bounds
+// check and one load.
+func (s *System) buildSolarLUT(end time.Duration) {
+	if s.cfg.Trace == nil || s.cfg.Step <= 0 {
+		return
+	}
+	if t := s.cfg.Trace.End(); t > end {
+		end = t
+	}
+	n := int(end/s.cfg.Step) + 1
+	s.solarLUT = make([]units.Watt, n)
+	for i := range s.solarLUT {
+		s.solarLUT[i] = s.cfg.Trace.At(time.Duration(i) * s.cfg.Step)
+	}
+}
+
+// solarAt is the step-indexed supply lookup. Off-step or out-of-range
+// queries fall back to the trace so the answer is always bit-identical to
+// Trace.At.
+func (s *System) solarAt(tod time.Duration) units.Watt {
+	if tod >= 0 && tod%s.cfg.Step == 0 {
+		if i := int(tod / s.cfg.Step); i < len(s.solarLUT) {
+			return s.solarLUT[i]
+		}
+	}
+	return s.cfg.Trace.At(tod)
 }
 
 // Config returns the system's configuration.
@@ -248,22 +308,22 @@ func (s *System) wirePLC() {
 	}
 	s.PLC.Actuate = func(r *plc.RegisterFile) {
 		for i := 0; i < s.Bank.Size(); i++ {
-			cr, err := r.ReadCoils(plc.CoilCharge(i), 1)
+			cr, err := r.Coil(plc.CoilCharge(i))
 			if err != nil {
 				continue
 			}
-			dr, err := r.ReadCoils(plc.CoilDischarge(i), 1)
+			dr, err := r.Coil(plc.CoilDischarge(i))
 			if err != nil {
 				continue
 			}
 			pair := s.Fabric.Pair(i)
 			switch {
-			case cr[0] && dr[0]:
+			case cr && dr:
 				// Interlock: refuse the double-closed command.
 				pair.SetMode(relay.Open)
-			case cr[0]:
+			case cr:
 				pair.SetMode(relay.Charging)
-			case dr[0]:
+			case dr:
 				pair.SetMode(relay.Discharging)
 			default:
 				pair.SetMode(relay.Open)
@@ -326,7 +386,7 @@ func (s *System) Tick(tod time.Duration, mgr Manager) {
 	dt := s.cfg.Step
 
 	// 1. Renewable budget for this tick.
-	s.solarNow = s.cfg.Trace.At(tod)
+	s.solarNow = s.solarAt(tod)
 	if s.cfg.Aux != nil {
 		s.auxNow = s.cfg.Aux.Step(tod, dt)
 		s.auxEnergy += units.Energy(s.auxNow, dt)
@@ -347,8 +407,10 @@ func (s *System) Tick(tod time.Duration, mgr Manager) {
 	surplus := supply - solarToLoad
 	deficit := s.loadNow - solarToLoad
 
-	charging := s.Fabric.UnitsIn(relay.Charging)
-	discharging := s.Fabric.UnitsIn(relay.Discharging)
+	s.scratchCharging = s.Fabric.AppendUnitsIn(s.scratchCharging[:0], relay.Charging)
+	s.scratchDischarging = s.Fabric.AppendUnitsIn(s.scratchDischarging[:0], relay.Discharging)
+	charging := s.scratchCharging
+	discharging := s.scratchDischarging
 
 	// Dispatch order for a deficit: the secondary feed (Fig 6/Fig 7 "S")
 	// forms the backup bus and takes the base of the shortfall; the
@@ -409,7 +471,8 @@ func (s *System) Tick(tod time.Duration, mgr Manager) {
 	s.harvested += units.Energy(solarToLoad+chargedW, dt)
 
 	// Units not on either bus rest and recover.
-	for _, i := range s.Fabric.UnitsIn(relay.Open) {
+	s.scratchOpen = s.Fabric.AppendUnitsIn(s.scratchOpen[:0], relay.Open)
+	for _, i := range s.scratchOpen {
 		s.Bank.Unit(i).Rest(dt)
 	}
 
@@ -463,11 +526,7 @@ func max(a, b int) int {
 // Run simulates one full day (from one hour before the solar window to one
 // hour past the operating window) under the manager.
 func (s *System) Run(mgr Manager) Result {
-	start := s.cfg.WindowStart - 2*time.Hour
-	if t := s.cfg.Trace.Start - time.Hour; t < start {
-		start = t
-	}
-	end := s.cfg.WindowEnd + time.Hour
+	start, end := runSpan(s.cfg)
 	for tod := start; tod < end; tod += s.cfg.Step {
 		s.Tick(tod, mgr)
 	}

@@ -20,6 +20,12 @@ import (
 )
 
 // Trace is a uniformly-sampled power series.
+//
+// A Trace is immutable once synthesised or parsed — every method either
+// reads it or returns a scaled copy — so a single replayed trace may be
+// shared by any number of concurrently-running simulations (the campaign
+// engine in internal/sim relies on this for the paper's paired-trace
+// methodology).
 type Trace struct {
 	// Start is the time-of-day of the first sample.
 	Start time.Duration
