@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-json experiments clean
+.PHONY: all build test race race-faults smoke-faults vet check bench bench-json experiments clean
 
 all: build
 
@@ -16,10 +16,22 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: static analysis, a clean build, and the full test
-# suite under the race detector (the parallel experiment engine and campaign
-# runner are exercised concurrently there).
-check: vet build race
+# race-faults runs just the concurrency-heavy fault-injection and fieldbus
+# suites under the race detector (dropped connections, retry/backoff, and
+# server drains all cross goroutines).
+race-faults:
+	$(GO) test -race -count=1 ./internal/faults ./internal/modbus
+
+# smoke-faults runs one simulated day with a battery unit and a discharge
+# relay faulted mid-day and fails if the plant loses availability.
+smoke-faults:
+	$(GO) test -race -count=1 -run 'TestBatteryFailureIsQuarantinedMidday|TestStuckOpenRelayIsQuarantined' ./internal/core
+
+# check is the CI gate: static analysis, a clean build, the full test suite
+# under the race detector (the parallel experiment engine and campaign
+# runner are exercised concurrently there), and the injected-fault smoke
+# simulation.
+check: vet build race race-faults smoke-faults
 
 # bench runs the simulation hot-path and experiment benchmarks.
 bench:

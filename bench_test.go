@@ -53,6 +53,7 @@ func BenchmarkTable02SeismicScaling(b *testing.B)  { benchExperiment(b, "table2"
 func BenchmarkTable03VideoScaling(b *testing.B)    { benchExperiment(b, "table3") }
 func BenchmarkTable06DayLogs(b *testing.B)         { benchExperiment(b, "table6") }
 func BenchmarkTable07Heterogeneous(b *testing.B)   { benchExperiment(b, "table7") }
+func BenchmarkExtFaultsAvailability(b *testing.B)  { benchExperiment(b, "extfaults") }
 
 // --- simulation-core micro benchmarks ---------------------------------------
 

@@ -5,20 +5,27 @@
 // The daemon simulates the battery array, relay fabric, and transducers in
 // real time. Any Modbus TCP client can read per-unit voltage/current input
 // registers and drive the charge/discharge coils; the register map is
-// documented in insure/internal/plc.
+// documented in insure/internal/plc. SIGINT/SIGTERM shut the panel down
+// cleanly, draining live Modbus sessions.
 //
 // Usage:
 //
 //	insure-plcd -listen 127.0.0.1:1502 -units 6
+//	insure-plcd -faults 'bat:2@2m:0.6,drop@5m'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"insure/internal/battery"
+	"insure/internal/faults"
 	"insure/internal/modbus"
 	"insure/internal/plc"
 	"insure/internal/relay"
@@ -34,7 +41,13 @@ func main() {
 	soc := flag.Float64("soc", 0.5, "initial state of charge")
 	solarW := flag.Float64("solar", 400, "charge-bus power budget (W)")
 	loadW := flag.Float64("load", 300, "discharge-bus load (W)")
+	faultSpec := flag.String("faults", "", "inject faults at time-since-start: comma-separated kind[:unit]@time[:magnitude] events, e.g. bat:2@2m:0.6,drop@5m (kinds: stick, drift, relay-open, relay-weld, bat, drop)")
 	flag.Parse()
+
+	faultPlan, err := faults.Parse(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	bank, err := battery.NewBank(battery.DefaultParams(), *n, *soc)
 	if err != nil {
@@ -88,10 +101,29 @@ func main() {
 	fmt.Printf("battery control panel on modbus-tcp://%s (%d units)\n", addr, *n)
 	fmt.Println("coils: 2i=charge relay, 2i+1=discharge relay; inputs: 2i=voltage code, 2i+1=current code")
 
+	injector := faults.NewInjector(faultPlan, faults.Target{
+		Bank:   bank,
+		Fabric: fabric,
+		Probes: probes,
+		Panel:  srv,
+	})
+	injector.Logf = log.Printf
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// Real-time plant loop: 1 s physics ticks, PLC scanning continuously.
+	start := time.Now()
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
-	for range ticker.C {
+	for {
+		select {
+		case <-ctx.Done():
+			log.Print("signal received, draining connections")
+			return
+		case <-ticker.C:
+		}
+		injector.Tick(time.Since(start))
 		charging := fabric.UnitsIn(relay.Charging)
 		discharging := fabric.UnitsIn(relay.Discharging)
 		bank.ChargeSet(charging, units.Watt(*solarW), time.Second)

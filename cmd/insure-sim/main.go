@@ -22,6 +22,7 @@ import (
 
 	"insure/internal/baseline"
 	"insure/internal/core"
+	"insure/internal/faults"
 	"insure/internal/sim"
 	"insure/internal/solar"
 	"insure/internal/trace"
@@ -46,7 +47,13 @@ func main() {
 	fromTrace := flag.String("trace", "", "replay a recorded solar trace CSV instead of synthesising one")
 	dumpFrames := flag.String("dump-frames", "", "write the recorder series CSV to this path")
 	dumpLog := flag.String("dump-log", "", "write the operational event log to this path")
+	faultSpec := flag.String("faults", "", "inject faults: comma-separated kind[:unit]@time[:magnitude] events, e.g. bat:2@12h30m:0.6,relay-open:4@13h (kinds: stick, drift, relay-open, relay-weld, bat)")
 	flag.Parse()
+
+	faultPlan, ferr := faults.Parse(*faultSpec)
+	if ferr != nil {
+		log.Fatal(ferr)
+	}
 
 	cond := solar.Sunny
 	switch *weather {
@@ -105,9 +112,10 @@ func main() {
 			return nil
 		}
 	}
-	// setup builds one fully-wired run; the returned System is also recorded
-	// in *out so the dump flags can read its recorder and logbook afterwards.
-	setup := func(name string, out **sim.System) func() (*sim.System, sim.Manager, error) {
+	// setup builds one fully-wired run; the returned System and Manager are
+	// also recorded in *out/*outMgr so the dump flags and the fault report
+	// can read them afterwards.
+	setup := func(name string, out **sim.System, outMgr *sim.Manager) func() (*sim.System, sim.Manager, error) {
 		return func() (*sim.System, sim.Manager, error) {
 			cfg := sim.DefaultConfig(tr)
 			cfg.BatteryCount = *batteries
@@ -117,10 +125,20 @@ func main() {
 				return nil, nil, err
 			}
 			*out = sys
-			if name == "baseline" {
-				return sys, baseline.New(baseline.DefaultConfig()), nil
+			if len(faultPlan) > 0 {
+				in := faults.NewInjector(faultPlan, faults.Target{
+					Bank:   sys.Bank,
+					Fabric: sys.Fabric,
+					Probes: sys.Probes,
+				})
+				sys.SetTickHook(func(tod time.Duration) { in.Tick(tod) })
 			}
-			return sys, core.New(core.DefaultConfig(), cfg.BatteryCount), nil
+			var mgr sim.Manager = core.New(core.DefaultConfig(), cfg.BatteryCount)
+			if name == "baseline" {
+				mgr = baseline.New(baseline.DefaultConfig())
+			}
+			*outMgr = mgr
+			return sys, mgr, nil
 		}
 	}
 	dump := func(name string, sys *sim.System) {
@@ -150,18 +168,19 @@ func main() {
 			}
 		}
 	}
-	run := func(name string) sim.Result {
+	run := func(name string) (sim.Result, sim.Manager) {
 		var sys *sim.System
-		s, mgr, err := setup(name, &sys)()
+		var mgr sim.Manager
+		s, m, err := setup(name, &sys, &mgr)()
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := s.Run(mgr)
+		res := s.Run(m)
 		dump(name, sys)
-		return res
+		return res, m
 	}
 
-	report := func(r sim.Result) {
+	report := func(r sim.Result, mgr sim.Manager) {
 		fmt.Printf("%-10s %s day, %s workload\n", r.Manager, *weather, r.Workload)
 		fmt.Printf("  uptime           %.1f%%\n", r.UptimeFrac*100)
 		fmt.Printf("  processed        %.1f GB (%.2f GB/h)\n", r.ProcessedGB, r.Throughput)
@@ -173,17 +192,24 @@ func main() {
 			r.LoadKWh, r.EffectiveKWh, r.HarvestedKWh, r.CurtailedKWh)
 		fmt.Printf("  events           %d power ops, %d on/off cycles, %d VM ops, %d brownouts\n",
 			r.PowerOps, r.OnOffCycles, r.VMOps, r.Brownouts)
-		fmt.Printf("  battery          min %.2f V, end %.2f V, stddev %.2f, wear %.2f Ah/unit\n\n",
+		fmt.Printf("  battery          min %.2f V, end %.2f V, stddev %.2f, wear %.2f Ah/unit\n",
 			float64(r.MinVolt), float64(r.EndVolt), r.VoltStdDev, float64(r.WearAhPerUnit))
+		if c, ok := mgr.(*core.Manager); ok {
+			for _, ev := range c.FaultEvents() {
+				fmt.Printf("  quarantined      unit %d at %v: %s\n", ev.Unit, ev.At, ev.Reason)
+			}
+		}
+		fmt.Println()
 	}
 
 	if *compare {
 		if *parallel {
 			names := []string{"insure", "baseline"}
 			systems := make([]*sim.System, len(names))
+			managers := make([]sim.Manager, len(names))
 			runs := make([]sim.CampaignRun, len(names))
 			for i, name := range names {
-				runs[i] = sim.CampaignRun{Name: name, Setup: setup(name, &systems[i])}
+				runs[i] = sim.CampaignRun{Name: name, Setup: setup(name, &systems[i], &managers[i])}
 			}
 			results, err := sim.RunCampaign(context.Background(), 0, runs)
 			if err != nil {
@@ -191,7 +217,7 @@ func main() {
 			}
 			for i, name := range names {
 				dump(name, systems[i])
-				report(results[i])
+				report(results[i], managers[i])
 			}
 		} else {
 			report(run("insure"))

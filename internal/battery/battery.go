@@ -147,6 +147,10 @@ type Unit struct {
 	rawOut     units.AmpHour // unweighted Ah delivered over life
 	rawIn      units.AmpHour // unweighted Ah absorbed over life
 	cycles     float64       // full-capacity-equivalent cycles
+
+	// faultLoss is the capacity fraction destroyed by an injected hardware
+	// fault (shorted cells); zero on a healthy unit.
+	faultLoss float64
 }
 
 // New returns a Unit at the given initial state of charge.
@@ -178,11 +182,31 @@ func MustNew(p Params, soc float64) *Unit {
 func (u *Unit) Params() Params { return u.p }
 
 // capAh is the present usable capacity: nameplate reduced by linear aging
-// fade as wear accumulates toward the lifetime throughput.
+// fade as wear accumulates toward the lifetime throughput, and by any
+// injected capacity-loss fault.
 func (u *Unit) capAh() float64 {
 	fade := u.p.FadeAtEOL * math.Min(u.WearFraction(), 1.5)
-	return float64(u.p.CapacityAh) * (1 - fade)
+	return float64(u.p.CapacityAh) * (1 - fade) * (1 - u.faultLoss)
 }
+
+// InjectCapacityLoss destroys frac of the unit's capacity mid-operation —
+// the signature of shorted cells in a VRLA block. The stored charge falls
+// disproportionately (charge in the shorted cells is gone AND the remaining
+// cells see it as a lower state of charge), so the terminal voltage collapses
+// observably: the wells scale by (1−frac)², the capacity by (1−frac).
+func (u *Unit) InjectCapacityLoss(frac float64) {
+	frac = units.Clamp(frac, 0, 0.99)
+	if frac == 0 {
+		return
+	}
+	u.faultLoss = 1 - (1-u.faultLoss)*(1-frac)
+	keep := (1 - frac) * (1 - frac)
+	u.avail *= keep
+	u.bound *= keep
+}
+
+// Failed reports whether a capacity-loss fault has been injected.
+func (u *Unit) Failed() bool { return u.faultLoss > 0 }
 
 // EffectiveCapacity is the present usable capacity after aging fade.
 func (u *Unit) EffectiveCapacity() units.AmpHour { return units.AmpHour(u.capAh()) }

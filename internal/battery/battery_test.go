@@ -441,6 +441,51 @@ func TestFadeDisabledWhenZero(t *testing.T) {
 	}
 }
 
+func TestInjectCapacityLoss(t *testing.T) {
+	u := newUnit(t, 0.9)
+	healthy := newUnit(t, 0.9)
+	vBefore := u.TerminalVoltage()
+	u.InjectCapacityLoss(0.6)
+	if !u.Failed() {
+		t.Fatal("faulted unit reports healthy")
+	}
+	// Effective capacity shrinks by the lost fraction.
+	want := 0.4 * float64(healthy.EffectiveCapacity())
+	if got := float64(u.EffectiveCapacity()); math.Abs(got-want) > 0.01 {
+		t.Errorf("effective capacity %.2f Ah, want %.2f", got, want)
+	}
+	// The stored charge collapses faster than the capacity, so SoC and
+	// terminal voltage drop observably — this is what the control plane's
+	// fault detector keys on.
+	if u.SoC() >= 0.9*0.5 {
+		t.Errorf("SoC %.3f did not collapse after 60%% capacity loss", u.SoC())
+	}
+	if u.TerminalVoltage() >= vBefore-0.1 {
+		t.Errorf("terminal voltage %.2f barely moved from %.2f", u.TerminalVoltage(), vBefore)
+	}
+	if healthy.Failed() {
+		t.Error("healthy unit reports failed")
+	}
+}
+
+func TestInjectCapacityLossCompounds(t *testing.T) {
+	u := newUnit(t, 1.0)
+	u.InjectCapacityLoss(0.5)
+	u.InjectCapacityLoss(0.5)
+	// Two 50% losses compound to 75%, not 100%.
+	want := 0.25 * float64(u.Params().CapacityAh)
+	if got := float64(u.EffectiveCapacity()); math.Abs(got-want) > 0.01 {
+		t.Errorf("compounded capacity %.2f Ah, want %.2f", got, want)
+	}
+	u.InjectCapacityLoss(0) // no-op, not a repair
+	if !u.Failed() {
+		t.Error("zero-fraction injection cleared the fault")
+	}
+	if s := u.SoC(); s < 0 || s > 1+1e-9 {
+		t.Errorf("SoC %.3f out of range after fault", s)
+	}
+}
+
 func TestBankChargeDischargeRoundTripProperty(t *testing.T) {
 	// Property: random sequences of bank operations keep every unit's SoC
 	// in [0,1], keep throughput monotone non-decreasing, and never create

@@ -161,6 +161,10 @@ type Manager struct {
 	capEvents   int
 	boostEvents int
 
+	// watch is the fault-detection state (faultwatch.go): quarantine flags,
+	// per-unit screen counters, and the quarantine event log.
+	watch faultWatch
+
 	// Reusable scratch for the control pass. Control runs 1,380 times per
 	// simulated day across every experiment, so its group queries and
 	// membership sets must not allocate (see DESIGN.md's performance notes).
@@ -181,6 +185,7 @@ func New(cfg Config, n int) *Manager {
 		chargeStall:  make([]int, n),
 		commissioned: make([]bool, n),
 		duty:         1,
+		watch:        newFaultWatch(n),
 	}
 	if cfg.UseForecast {
 		cap := cfg.ForecastCapacity
@@ -328,6 +333,7 @@ func (m *Manager) Control(sys *sim.System, now time.Duration) {
 	}
 
 	m.updateHistoryTable(sys)
+	m.detectFaults(sys, now)
 	if m.fc != nil {
 		m.fc.Observe(now, sys.SolarNow(), m.cfg.Period)
 	}
@@ -395,8 +401,8 @@ func (m *Manager) screenOffline(sys *sim.System) {
 
 	var pool, eligible int
 	for i, g := range m.groups {
-		if g != GroupOffline {
-			continue
+		if g != GroupOffline || m.watch.quarantined[i] {
+			continue // a quarantined unit never re-enters rotation
 		}
 		pool++
 		if m.ahTable[i] < threshold {
@@ -409,7 +415,7 @@ func (m *Manager) screenOffline(sys *sim.System) {
 	if pool > 0 && eligible == 0 && m.cfg.BoostFactor > 1 {
 		boosted := threshold * m.cfg.BoostFactor
 		for i, g := range m.groups {
-			if g == GroupOffline && m.ahTable[i] < boosted {
+			if g == GroupOffline && !m.watch.quarantined[i] && m.ahTable[i] < boosted {
 				m.groups[i] = GroupCharging
 				m.boostEvents++
 			}

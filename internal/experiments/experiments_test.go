@@ -259,6 +259,32 @@ func TestFig20Fig21Shape(t *testing.T) {
 	}
 }
 
+func TestExtFaultsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full-day runs")
+	}
+	tbl := ExtFaults()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want InSURE and baseline", len(tbl.Rows))
+	}
+	insure, base := tbl.Rows[0], tbl.Rows[1]
+	// The acceptance scenario: one battery unit and one relay faulted
+	// mid-day, and the plant keeps serving.
+	if up := parsePct(t, insure[1]); up <= 0 {
+		t.Errorf("InSURE uptime %v%% under faults, want positive availability", up)
+	}
+	if q := parseF(t, insure[4]); q != 2 {
+		t.Errorf("InSURE quarantined %v units, want both casualties caught", q)
+	}
+	if base[4] != "-" {
+		t.Errorf("baseline quarantine cell = %q, want none (no per-unit visibility)", base[4])
+	}
+	if parsePct(t, insure[1]) <= parsePct(t, base[1]) {
+		t.Errorf("InSURE uptime %s not above baseline %s under the same faults",
+			insure[1], base[1])
+	}
+}
+
 func TestRenderAlignment(t *testing.T) {
 	tbl := &Table{
 		ID:     "test",

@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// FlakyProxy sits between a Modbus client and the control panel and
+// misbehaves on demand: it can delay every byte in both directions (a
+// congested or half-broken fieldbus) and sever all live sessions (a panel
+// power-cycle). It exists to exercise the client's timeout/retry/reconnect
+// path against failures the server itself cannot produce.
+type FlakyProxy struct {
+	backend string
+	l       net.Listener
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	delay   time.Duration
+	dropped int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewFlakyProxy listens on loopback and forwards to backend.
+func NewFlakyProxy(backend string) (*FlakyProxy, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &FlakyProxy{backend: backend, l: l, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the backend.
+func (p *FlakyProxy) Addr() string { return p.l.Addr().String() }
+
+// SetDelay makes every forwarded chunk wait d before delivery (zero restores
+// transparent forwarding).
+func (p *FlakyProxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+// DropAll severs every live session while keeping the listener open, so the
+// next dial succeeds.
+func (p *FlakyProxy) DropAll() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.dropped += len(p.conns)
+	p.mu.Unlock()
+}
+
+// Dropped returns how many connections DropAll has severed.
+func (p *FlakyProxy) Dropped() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// Close stops the listener and tears down every session.
+func (p *FlakyProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	err := p.l.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *FlakyProxy) acceptLoop() {
+	for {
+		conn, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			up.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.conns[up] = struct{}{}
+		p.wg.Add(2)
+		p.mu.Unlock()
+		go p.pipe(conn, up)
+		go p.pipe(up, conn)
+	}
+}
+
+// pipe forwards src to dst chunk by chunk, applying the configured delay,
+// until either side closes.
+func (p *FlakyProxy) pipe(dst, src net.Conn) {
+	defer func() {
+		dst.Close()
+		src.Close()
+		p.mu.Lock()
+		delete(p.conns, src)
+		p.mu.Unlock()
+		p.wg.Done()
+	}()
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.mu.Lock()
+			d := p.delay
+			p.mu.Unlock()
+			if d > 0 {
+				time.Sleep(d)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return // EOF, reset, or our own Close: the session is over
+		}
+	}
+}

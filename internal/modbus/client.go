@@ -2,6 +2,7 @@ package modbus
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -10,15 +11,31 @@ import (
 
 // Client is a Modbus TCP master: the coordination node's side of the link.
 // It is safe for concurrent use; requests are serialised on the connection.
+//
+// Transport failures (timeouts, resets, a panel power-cycling mid-session)
+// are retried with exponential backoff, redialling the panel between
+// attempts. Exception responses are never retried: the panel answered, it
+// just refused the request.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+	addr string
 	txn  uint16
+
+	retries    int64
+	reconnects int64
 
 	// Timeout bounds each round trip (default 5 s).
 	Timeout time.Duration
 	// UnitID addresses the target device (the prototype uses one panel).
 	UnitID byte
+	// MaxRetries is how many times a failed round trip is retried before
+	// the error is surfaced (default 3; 0 retries forever is not offered —
+	// set it negative to disable retrying).
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry; it doubles on each
+	// subsequent attempt (default 50 ms).
+	RetryBackoff time.Duration
 }
 
 // Dial connects to a Modbus TCP server.
@@ -27,16 +44,77 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("modbus: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, Timeout: 5 * time.Second, UnitID: 1}, nil
+	return &Client{
+		conn:         conn,
+		addr:         addr,
+		Timeout:      5 * time.Second,
+		UnitID:       1,
+		MaxRetries:   3,
+		RetryBackoff: 50 * time.Millisecond,
+	}, nil
 }
 
 // Close shuts the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip sends a request PDU and returns the response PDU.
+// Retries returns how many round trips were retried after a transport
+// failure.
+func (c *Client) Retries() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries
+}
+
+// Reconnects returns how many times the client redialled the panel.
+func (c *Client) Reconnects() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// roundTrip sends a request PDU and returns the response PDU, retrying
+// transport failures with exponential backoff.
 func (c *Client) roundTrip(pdu []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	resp, err := c.attempt(pdu)
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	for try := 0; err != nil && try < c.MaxRetries; try++ {
+		var ex Exception
+		if errors.As(err, &ex) {
+			break // the server answered; retrying would repeat the refusal
+		}
+		c.retries++
+		time.Sleep(backoff)
+		backoff *= 2
+		if dialErr := c.redial(); dialErr != nil {
+			err = dialErr
+			continue
+		}
+		resp, err = c.attempt(pdu)
+	}
+	return resp, err
+}
+
+// redial replaces a (presumed broken) connection with a fresh one.
+// Callers hold c.mu.
+func (c *Client) redial() error {
+	c.conn.Close()
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("modbus: redial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.reconnects++
+	return nil
+}
+
+// attempt performs one round trip on the current connection. Callers hold
+// c.mu.
+func (c *Client) attempt(pdu []byte) ([]byte, error) {
 	c.txn++
 	deadline := time.Now().Add(c.Timeout)
 	if err := c.conn.SetDeadline(deadline); err != nil {

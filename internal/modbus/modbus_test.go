@@ -2,10 +2,15 @@ package modbus
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"fmt"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"insure/internal/plc"
 )
@@ -281,6 +286,189 @@ func TestWriteMultipleCoils(t *testing.T) {
 	if err := c.WriteCoils(0, nil); err == nil {
 		t.Error("empty coil write accepted")
 	}
+}
+
+// logRecorder collects server diagnostics safely across goroutines.
+type logRecorder struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *logRecorder) logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func (l *logRecorder) all() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.lines...)
+}
+
+func TestServerTruncatedFrameLogsProtocolError(t *testing.T) {
+	regs := plc.NewRegisterFile(4, 4, 4, 4)
+	srv := NewServer(regs)
+	rec := &logRecorder{}
+	srv.Logf = rec.logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half an MBAP header, then hang up: a frame truncated mid-read.
+	if _, err := conn.Write([]byte{0x00, 0x01, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	waitFor(t, func() bool { return len(rec.all()) > 0 })
+	srv.Close() // drains the handler before we inspect the log
+	var sawProtocol bool
+	for _, line := range rec.all() {
+		if strings.Contains(line, "protocol") {
+			sawProtocol = true
+		}
+	}
+	if !sawProtocol {
+		t.Errorf("truncated frame not logged as protocol error; log = %q", rec.all())
+	}
+}
+
+func TestServerCleanCloseIsSilent(t *testing.T) {
+	regs := plc.NewRegisterFile(4, 4, 4, 4)
+	srv := NewServer(regs)
+	rec := &logRecorder{}
+	srv.Logf = rec.logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteCoil(0, true); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()   // orderly FIN: the server sees io.EOF
+	srv.Close() // drains the handler
+	if got := rec.all(); len(got) != 0 {
+		t.Errorf("clean close produced diagnostics: %q", got)
+	}
+}
+
+func TestServerOversizedReadCount(t *testing.T) {
+	regs := plc.NewRegisterFile(64, 4, 64, 4)
+	c := newPair(t, regs)
+	var ex Exception
+	if _, err := c.ReadCoils(0, MaxCoilsPerRead+1); !errors.As(err, &ex) || byte(ex) != ExIllegalValue {
+		t.Errorf("oversized coil read error = %v, want illegal value", err)
+	}
+	if _, err := c.ReadHolding(0, MaxRegsPerRead+1); !errors.As(err, &ex) || byte(ex) != ExIllegalValue {
+		t.Errorf("oversized register read error = %v, want illegal value", err)
+	}
+}
+
+func TestClientRecoversFromDroppedConnection(t *testing.T) {
+	regs := plc.NewRegisterFile(16, 4, 16, 4)
+	srv := NewServer(regs)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.RetryBackoff = time.Millisecond
+	if err := c.WriteCoil(1, true); err != nil {
+		t.Fatal(err)
+	}
+	// The panel flaps: every live session is severed, the listener stays up.
+	srv.DropConnections()
+	got, err := c.ReadCoils(0, 4)
+	if err != nil {
+		t.Fatalf("read after drop failed despite retry: %v", err)
+	}
+	if !got[1] {
+		t.Error("register file state lost across reconnect")
+	}
+	if c.Retries() == 0 {
+		t.Error("retry counter did not advance")
+	}
+	if c.Reconnects() == 0 {
+		t.Error("reconnect counter did not advance")
+	}
+}
+
+func TestClientDoesNotRetryExceptions(t *testing.T) {
+	regs := plc.NewRegisterFile(4, 4, 4, 4)
+	c := newPair(t, regs)
+	c.RetryBackoff = time.Millisecond
+	var ex Exception
+	if _, err := c.ReadCoils(100, 1); !errors.As(err, &ex) {
+		t.Fatalf("OOB read error = %v, want exception", err)
+	}
+	if got := c.Retries(); got != 0 {
+		t.Errorf("exception response was retried %d times", got)
+	}
+}
+
+func TestClientGivesUpWhenServerGone(t *testing.T) {
+	regs := plc.NewRegisterFile(4, 4, 4, 4)
+	srv := NewServer(regs)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.RetryBackoff = time.Millisecond
+	srv.Close() // listener and sessions gone: redial cannot succeed
+	if _, err := c.ReadCoils(0, 1); err == nil {
+		t.Error("read succeeded against a dead server")
+	}
+	if got := c.Retries(); got != int64(c.MaxRetries) {
+		t.Errorf("retries = %d, want the full budget %d", got, c.MaxRetries)
+	}
+}
+
+func TestServeShutsDownOnContextCancel(t *testing.T) {
+	regs := plc.NewRegisterFile(4, 4, 4, 4)
+	srv := NewServer(regs)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, "127.0.0.1:0") }()
+	time.Sleep(10 * time.Millisecond) // let it bind
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Serve returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after context cancellation")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not met within 2 s")
 }
 
 func TestReadWriteMultipleRegisters(t *testing.T) {

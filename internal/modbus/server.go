@@ -1,8 +1,10 @@
 package modbus
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
+	"io"
 	"log"
 	"net"
 	"sync"
@@ -20,6 +22,7 @@ type Server struct {
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	wg       sync.WaitGroup // in-flight connection handlers
 
 	// Logf, when set, receives per-connection error diagnostics.
 	Logf func(format string, args ...any)
@@ -57,6 +60,7 @@ func (s *Server) acceptLoop(l net.Listener) {
 			return
 		}
 		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
@@ -68,12 +72,24 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.wg.Done()
 	}()
 	for {
 		req, err := ReadADU(conn)
 		if err != nil {
-			if !errors.Is(err, net.ErrClosed) && s.Logf != nil && err.Error() != "EOF" {
-				s.Logf("modbus server: read: %v", err)
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+				// Orderly disconnect (or our own Close); nothing to report.
+			case errors.Is(err, io.ErrUnexpectedEOF):
+				// The peer hung up mid-frame: a protocol error, not a
+				// clean close — always worth a diagnostic.
+				if s.Logf != nil {
+					s.Logf("modbus server: protocol: truncated frame: %v", err)
+				}
+			default:
+				if s.Logf != nil {
+					s.Logf("modbus server: read: %v", err)
+				}
 			}
 			return
 		}
@@ -87,11 +103,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops the listener and drops all connections.
+// Close stops the listener, drops all connections and waits for their
+// handlers to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
@@ -102,7 +119,21 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		c.Close()
 	}
+	s.mu.Unlock()
+	// Wait outside the mutex: each handler's cleanup re-takes it.
+	s.wg.Wait()
 	return err
+}
+
+// DropConnections severs every live connection while keeping the listener
+// open, so clients see a mid-session drop and must reconnect. It exists to
+// exercise client recovery (and the fault injector's flaky-panel mode).
+func (s *Server) DropConnections() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
 }
 
 func exception(fn byte, code byte) []byte { return []byte{fn | exceptionFlag, code} }
@@ -270,13 +301,18 @@ func (s *Server) handle(pdu []byte) []byte {
 	}
 }
 
-// Serve is a convenience for cmd binaries: listen and block forever,
-// logging the bound address.
-func (s *Server) Serve(addr string) error {
+// Serve is a convenience for cmd binaries: listen, log the bound address
+// and block until ctx is cancelled, then shut down through Close so
+// in-flight connections drain before returning.
+func (s *Server) Serve(ctx context.Context, addr string) error {
 	bound, err := s.Listen(addr)
 	if err != nil {
 		return err
 	}
 	log.Printf("modbus: listening on %s", bound)
-	select {}
+	<-ctx.Done()
+	if err := s.Close(); err != nil {
+		return err
+	}
+	return ctx.Err()
 }

@@ -19,12 +19,40 @@ const SwitchTime = 25 * time.Millisecond
 // MechanicalLife is the rated number of switching cycles.
 const MechanicalLife = 10_000_000
 
+// FailMode classifies a relay hardware fault. A faulted relay ignores coil
+// commands in the direction the fault blocks: a welded contact cannot open,
+// a stuck armature cannot close or settle.
+type FailMode int
+
+const (
+	FailNone FailMode = iota
+	// FailWeldClosed models contact welding: the contact is closed and no
+	// coil command can open it.
+	FailWeldClosed
+	// FailStuckOpen models a seized armature: the contact never closes (and
+	// an in-flight close never settles).
+	FailStuckOpen
+)
+
+func (f FailMode) String() string {
+	switch f {
+	case FailWeldClosed:
+		return "weld-closed"
+	case FailStuckOpen:
+		return "stuck-open"
+	default:
+		return "none"
+	}
+}
+
 // Relay is a single electromechanical switch.
 type Relay struct {
 	name    string
 	closed  bool
 	cycles  int64
+	aborted int64
 	pending time.Duration // time remaining until an in-flight switch settles
+	fail    FailMode
 }
 
 // New returns an open relay with the given name.
@@ -42,26 +70,76 @@ func (r *Relay) Settled() bool { return r.pending <= 0 }
 // Cycles returns the lifetime operate count.
 func (r *Relay) Cycles() int64 { return r.cycles }
 
+// Aborted returns the number of in-flight switches that were reversed before
+// settling. Each abort still consumed a mechanical cycle (the armature moved
+// twice through the arc gap), so aborts count toward wear.
+func (r *Relay) Aborted() int64 { return r.aborted }
+
+// SettleRemaining is the time left until an in-flight switch settles (zero
+// when settled; never negative).
+func (r *Relay) SettleRemaining() time.Duration { return r.pending }
+
 // WearFraction is the consumed fraction of mechanical life.
 func (r *Relay) WearFraction() float64 {
 	return float64(r.cycles) / float64(MechanicalLife)
 }
 
+// Fail injects a hardware fault. FailNone clears it (a field repair).
+func (r *Relay) Fail(m FailMode) {
+	r.fail = m
+	switch m {
+	case FailWeldClosed:
+		r.closed = true
+		r.pending = 0
+	case FailStuckOpen:
+		r.closed = false
+		r.pending = 0
+	}
+}
+
+// Failed reports whether a hardware fault is present.
+func (r *Relay) Failed() bool { return r.fail != FailNone }
+
+// FailState returns the injected fault mode.
+func (r *Relay) FailState() FailMode { return r.fail }
+
 // Set drives the coil. A state change consumes one mechanical cycle and
-// takes SwitchTime to settle; setting the current state is a no-op.
+// takes SwitchTime to settle; setting the current state is a no-op. A Set
+// that reverses an in-flight switch aborts it: the aborted transition is
+// recorded and counts toward mechanical wear. A faulted relay ignores the
+// command in the blocked direction (welded contacts cannot open, a stuck
+// armature cannot close).
 func (r *Relay) Set(closed bool) {
+	switch r.fail {
+	case FailWeldClosed:
+		r.closed = true
+		return
+	case FailStuckOpen:
+		r.closed = false
+		return
+	}
 	if r.closed == closed {
 		return
+	}
+	if r.pending > 0 {
+		// The previous transition had not settled: the contact reverses
+		// mid-travel. Record the abort and charge its wear.
+		r.aborted++
+		r.cycles++
 	}
 	r.closed = closed
 	r.cycles++
 	r.pending = SwitchTime
 }
 
-// Tick advances time for settle accounting.
+// Tick advances time for settle accounting, clamping at zero so repeated
+// ticks cannot drift the pending balance negative.
 func (r *Relay) Tick(dt time.Duration) {
 	if r.pending > 0 {
 		r.pending -= dt
+		if r.pending < 0 {
+			r.pending = 0
+		}
 	}
 }
 
@@ -134,6 +212,9 @@ func (p *Pair) Mode() Mode {
 		return Open
 	}
 }
+
+// Failed reports whether either relay of the pair has a hardware fault.
+func (p *Pair) Failed() bool { return p.Charge.Failed() || p.Discharge.Failed() }
 
 // Tick advances both relays.
 func (p *Pair) Tick(dt time.Duration) {

@@ -12,6 +12,7 @@ func TestRelaySetCounting(t *testing.T) {
 	}
 	r.Set(true)
 	r.Set(true) // no-op
+	r.Tick(SwitchTime)
 	r.Set(false)
 	if got := r.Cycles(); got != 2 {
 		t.Errorf("cycles = %d, want 2", got)
@@ -106,6 +107,7 @@ func TestFabricCycleAccounting(t *testing.T) {
 	f := NewFabric(3)
 	base := f.TotalCycles() // topology setup cycles
 	f.Pair(0).SetMode(Charging)
+	f.Tick(time.Second) // settle before the next command
 	f.Pair(0).SetMode(Open)
 	if got := f.TotalCycles() - base; got != 2 {
 		t.Errorf("cycles delta = %d, want 2", got)
@@ -118,6 +120,90 @@ func TestFabricTick(t *testing.T) {
 	f.Tick(time.Second)
 	if !f.Pair(1).Discharge.Settled() {
 		t.Error("relay did not settle after tick")
+	}
+}
+
+func TestTickClampsPendingAtZero(t *testing.T) {
+	r := New("test")
+	r.Set(true)
+	r.Tick(time.Second) // far past the 25 ms switch time
+	if !r.Settled() {
+		t.Fatal("relay not settled after a full second")
+	}
+	if got := r.SettleRemaining(); got != 0 {
+		t.Errorf("pending drifted to %v after overshoot tick, want exactly 0", got)
+	}
+	// Repeated ticks must not accumulate negative balance either.
+	r.Tick(time.Second)
+	r.Tick(time.Second)
+	if got := r.SettleRemaining(); got != 0 {
+		t.Errorf("pending = %v after repeated ticks, want 0", got)
+	}
+}
+
+func TestAbortedSwitchCountsTowardWear(t *testing.T) {
+	r := New("test")
+	r.Set(true)
+	r.Tick(10 * time.Millisecond) // still in flight (25 ms switch time)
+	r.Set(false)                  // reverses mid-travel: aborts the transition
+	if got := r.Aborted(); got != 1 {
+		t.Errorf("aborted = %d, want 1", got)
+	}
+	// The aborted transition consumed a mechanical cycle on top of the two
+	// commanded ones.
+	if got := r.Cycles(); got != 3 {
+		t.Errorf("cycles = %d, want 3 (two commands + one abort)", got)
+	}
+	// A settled switch followed by a reversal is not an abort.
+	r.Tick(SwitchTime)
+	r.Set(true)
+	if got := r.Aborted(); got != 1 {
+		t.Errorf("settled reversal counted as abort: %d", got)
+	}
+}
+
+func TestRelayFailWeldClosed(t *testing.T) {
+	r := New("test")
+	r.Set(true)
+	r.Tick(SwitchTime)
+	r.Fail(FailWeldClosed)
+	if !r.Failed() || r.FailState() != FailWeldClosed {
+		t.Fatal("fault not recorded")
+	}
+	r.Set(false)
+	if !r.Closed() {
+		t.Error("welded contact opened on command")
+	}
+	r.Fail(FailNone)
+	r.Set(false)
+	if r.Closed() {
+		t.Error("repaired relay ignored open command")
+	}
+}
+
+func TestRelayFailStuckOpen(t *testing.T) {
+	r := New("test")
+	r.Fail(FailStuckOpen)
+	r.Set(true)
+	if r.Closed() {
+		t.Error("stuck armature closed on command")
+	}
+	if !r.Settled() {
+		t.Error("stuck-open relay should not report an in-flight switch")
+	}
+	if FailWeldClosed.String() == "" || FailStuckOpen.String() == "" || FailNone.String() != "none" {
+		t.Error("fail mode names wrong")
+	}
+}
+
+func TestPairFailed(t *testing.T) {
+	p := NewPair(0)
+	if p.Failed() {
+		t.Fatal("healthy pair reports failed")
+	}
+	p.Discharge.Fail(FailStuckOpen)
+	if !p.Failed() {
+		t.Error("pair with a faulted relay reports healthy")
 	}
 }
 

@@ -85,6 +85,13 @@ type Channel struct {
 	T   *Transducer
 	A   *ADC
 	raw uint16
+
+	// Fault state: a stuck channel freezes its last register code; drift
+	// offsets the analog signal (in volts) before quantisation. Real
+	// transducers fail exactly these two ways — a dead output stage holds
+	// the last sampled level, a degraded one walks off calibration.
+	stuck  bool
+	driftV float64
 }
 
 // NewVoltageChannel builds the chain for one battery terminal voltage.
@@ -99,10 +106,26 @@ func NewCurrentChannel(name string) *Channel {
 	return &Channel{T: t, A: NewADC(t.OutLo, t.OutHi)}
 }
 
-// Sample measures the physical value and stores the register code.
+// Sample measures the physical value and stores the register code. A stuck
+// channel keeps its frozen code; a drifting one quantises the offset signal.
 func (c *Channel) Sample(physical float64) {
-	c.raw = c.A.Convert(c.T.Analog(physical))
+	if c.stuck {
+		return
+	}
+	c.raw = c.A.Convert(c.T.Analog(physical) + c.driftV)
 }
+
+// InjectStick freezes the channel at its current register code.
+func (c *Channel) InjectStick() { c.stuck = true }
+
+// InjectDrift adds a calibration drift of dv volts to the analog signal.
+func (c *Channel) InjectDrift(dv float64) { c.driftV += dv }
+
+// ClearFaults repairs the channel.
+func (c *Channel) ClearFaults() { c.stuck = false; c.driftV = 0 }
+
+// Faulted reports whether a fault is injected.
+func (c *Channel) Faulted() bool { return c.stuck || c.driftV != 0 }
 
 // Raw returns the last register code, as the PLC stores it.
 func (c *Channel) Raw() uint16 { return c.raw }

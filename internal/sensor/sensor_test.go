@@ -94,6 +94,47 @@ func TestBatteryProbe(t *testing.T) {
 	}
 }
 
+func TestChannelStickFreezesReading(t *testing.T) {
+	c := NewCurrentChannel("bat0-I")
+	c.Sample(4.0)
+	frozen := c.Raw()
+	c.InjectStick()
+	if !c.Faulted() {
+		t.Fatal("stuck channel reports healthy")
+	}
+	c.Sample(8.0)
+	c.Sample(-2.0)
+	if c.Raw() != frozen {
+		t.Errorf("stuck channel moved: code %d -> %d", frozen, c.Raw())
+	}
+	c.ClearFaults()
+	c.Sample(8.0)
+	if c.Raw() == frozen {
+		t.Error("repaired channel still frozen")
+	}
+}
+
+func TestChannelDriftOffsetsReading(t *testing.T) {
+	c := NewVoltageChannel("bat0-V")
+	c.Sample(12.8)
+	clean := c.Value()
+	c.InjectDrift(0.5) // +0.5 V on the ±5 V signal = +2.5 V on the 0–50 V input
+	c.Sample(12.8)
+	if got := c.Value() - clean; math.Abs(got-2.5) > 0.05 {
+		t.Errorf("0.5 V analog drift shifted reading by %.2f V, want ~2.5", got)
+	}
+	c.InjectDrift(0.5) // drift accumulates
+	c.Sample(12.8)
+	if got := c.Value() - clean; math.Abs(got-5) > 0.05 {
+		t.Errorf("accumulated drift shifted reading by %.2f V, want ~5", got)
+	}
+	c.ClearFaults()
+	c.Sample(12.8)
+	if c.Value() != clean {
+		t.Error("ClearFaults did not restore calibration")
+	}
+}
+
 func TestProbeCurrentSaturates(t *testing.T) {
 	p := NewBatteryProbe(0)
 	p.Sample(12.0, 35) // far above the ±10 A transducer range

@@ -148,6 +148,11 @@ type System struct {
 	remote       remoteClient
 	remoteServer remoteCloser
 
+	// onTick, when set, runs at the top of every Tick with the plant clock —
+	// the fault-injection layer's entry point (internal/faults). It must not
+	// allocate in the steady state: the zero-alloc tick invariant covers it.
+	onTick func(tod time.Duration)
+
 	auxEnergy units.WattHour
 
 	// solarLUT is the trace resampled onto the simulation step, built once
@@ -381,9 +386,18 @@ func (s *System) InWindow(tod time.Duration) bool {
 	return tod >= s.cfg.WindowStart && tod < s.cfg.WindowEnd
 }
 
+// SetTickHook installs fn to run at the top of every Tick, before manager
+// control — so a fault landing on a control-period boundary is already in
+// effect when the controller reads the plant. Pass nil to remove it.
+func (s *System) SetTickHook(fn func(tod time.Duration)) { s.onTick = fn }
+
 // Tick advances the plant one step at time-of-day tod.
 func (s *System) Tick(tod time.Duration, mgr Manager) {
 	dt := s.cfg.Step
+
+	if s.onTick != nil {
+		s.onTick(tod)
+	}
 
 	// 1. Renewable budget for this tick.
 	s.solarNow = s.solarAt(tod)

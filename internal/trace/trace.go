@@ -60,9 +60,23 @@ func (t *Trace) Duration() time.Duration {
 // End is the time-of-day one step past the last sample.
 func (t *Trace) End() time.Duration { return t.Start + t.Duration() }
 
-// At returns the power at time-of-day tod (zero outside the trace window).
+// Validate reports whether the trace is well-formed: a positive sampling
+// step (a degenerate step would make time indexing divide by zero) and at
+// least one sample.
+func (t *Trace) Validate() error {
+	if t.Step <= 0 {
+		return fmt.Errorf("trace: non-positive step %v", t.Step)
+	}
+	if len(t.Samples) == 0 {
+		return fmt.Errorf("trace: no samples")
+	}
+	return nil
+}
+
+// At returns the power at time-of-day tod (zero outside the trace window or
+// on a degenerate trace with a non-positive step).
 func (t *Trace) At(tod time.Duration) units.Watt {
-	if tod < t.Start || len(t.Samples) == 0 {
+	if tod < t.Start || len(t.Samples) == 0 || t.Step <= 0 {
 		return 0
 	}
 	i := int((tod - t.Start) / t.Step)
@@ -207,6 +221,9 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: bad power %q: %w", row[1], err)
 		}
 		tr.Samples = append(tr.Samples, units.Watt(p))
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
 	}
 	return tr, nil
 }

@@ -129,3 +129,50 @@ func TestEmptyTrace(t *testing.T) {
 		t.Error("empty trace lookup should be zero")
 	}
 }
+
+func TestAtDegenerateStep(t *testing.T) {
+	// Regression: a hand-built trace with Step == 0 used to panic At with an
+	// integer divide by zero. It must now return zero like any other
+	// degenerate lookup.
+	tr := &Trace{Start: 0, Step: 0, Samples: []units.Watt{100}}
+	if got := tr.At(0); got != 0 {
+		t.Errorf("degenerate trace At = %v, want 0", got)
+	}
+	if got := tr.At(5 * time.Hour); got != 0 {
+		t.Errorf("degenerate trace At = %v, want 0", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Synthesize(solar.Sunny, 1, time.Minute)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("synthesised trace invalid: %v", err)
+	}
+	cases := map[string]*Trace{
+		"zero step":     {Step: 0, Samples: []units.Watt{1}},
+		"negative step": {Step: -time.Second, Samples: []units.Watt{1}},
+		"no samples":    {Step: time.Second},
+	}
+	for name, tr := range cases {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", name)
+		}
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	cases := map[string]string{
+		"duplicate timestamps": "seconds,watts\n0,1.0\n0,2.0\n0,3.0\n",
+		"decreasing":           "seconds,watts\n120,1.0\n60,2.0\n0,3.0\n",
+		"second row bad":       "seconds,watts\n0,1.0\nx,2.0\n120,3.0\n",
+		"wrong field count":    "seconds,watts\n0,1.0,extra\n60,2.0\n120,3.0\n",
+		"empty input":          "",
+		"header only":          "seconds,watts\n",
+	}
+	for name, in := range cases {
+		tr, err := ReadCSV(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("%s: accepted (step=%v, len=%d)", name, tr.Step, tr.Len())
+		}
+	}
+}
