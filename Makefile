@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-faults smoke-faults vet check bench bench-json experiments clean
+.PHONY: all build test race race-faults smoke-faults smoke-metrics vet check bench bench-json experiments clean
 
 all: build
 
@@ -27,11 +27,20 @@ race-faults:
 smoke-faults:
 	$(GO) test -race -count=1 -run 'TestBatteryFailureIsQuarantinedMidday|TestStuckOpenRelayIsQuarantined' ./internal/core
 
+# smoke-metrics boots the daemons' telemetry plane in-process and runs the
+# scrape through the strict Prometheus exposition parser: plcd's /metrics
+# and /healthz wiring, the registry's own HTTP tests, and the zero-alloc
+# instrumented-tick guard.
+smoke-metrics:
+	$(GO) test -race -count=1 -run 'TestPanelMetricsEndpoint|TestPanelHealthz' ./cmd/insure-plcd
+	$(GO) test -race -count=1 ./internal/telemetry/...
+	$(GO) test -count=1 -run 'TestTickWithTelemetryAllocFree' ./internal/sim
+
 # check is the CI gate: static analysis, a clean build, the full test suite
 # under the race detector (the parallel experiment engine and campaign
-# runner are exercised concurrently there), and the injected-fault smoke
-# simulation.
-check: vet build race race-faults smoke-faults
+# runner are exercised concurrently there), the injected-fault smoke
+# simulation, and the telemetry-plane smoke test.
+check: vet build race race-faults smoke-faults smoke-metrics
 
 # bench runs the simulation hot-path and experiment benchmarks.
 bench:

@@ -8,10 +8,17 @@
 // documented in insure/internal/plc. SIGINT/SIGTERM shut the panel down
 // cleanly, draining live Modbus sessions.
 //
+// The daemon also serves an observability plane on -metrics-addr:
+// GET /metrics is Prometheus text exposition (per-unit SoC and throughput,
+// relay cycles and settle latency, PLC scan duration), GET /healthz reports
+// ok/degraded from the relay-fabric fault check. -debug-addr optionally
+// exposes net/http/pprof on a second listener.
+//
 // Usage:
 //
 //	insure-plcd -listen 127.0.0.1:1502 -units 6
 //	insure-plcd -faults 'bat:2@2m:0.6,drop@5m'
+//	curl http://127.0.0.1:9620/metrics
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -30,54 +38,67 @@ import (
 	"insure/internal/plc"
 	"insure/internal/relay"
 	"insure/internal/sensor"
+	"insure/internal/telemetry"
 	"insure/internal/units"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("insure-plcd: ")
-	listen := flag.String("listen", "127.0.0.1:1502", "Modbus TCP listen address")
-	n := flag.Int("units", 6, "battery units")
-	soc := flag.Float64("soc", 0.5, "initial state of charge")
-	solarW := flag.Float64("solar", 400, "charge-bus power budget (W)")
-	loadW := flag.Float64("load", 300, "discharge-bus load (W)")
-	faultSpec := flag.String("faults", "", "inject faults at time-since-start: comma-separated kind[:unit]@time[:magnitude] events, e.g. bat:2@2m:0.6,drop@5m (kinds: stick, drift, relay-open, relay-weld, bat, drop)")
-	flag.Parse()
+// panel is the assembled plant plus its observability plane. It is built by
+// newPanel and advanced by tick; main only adds the Modbus listener, the
+// fault injector, and the real-time loop, so tests can drive the identical
+// wiring at simulated speed.
+type panel struct {
+	n             int
+	solarW, loadW units.Watt
+	bank          *battery.Bank
+	fabric        *relay.Fabric
+	probes        []*sensor.BatteryProbe
+	controller    *plc.PLC
+	reg           *telemetry.Registry
+	socGauges     []*telemetry.Gauge
+	tputGauges    []*telemetry.Gauge
+	relayCycles   *telemetry.Gauge
+	failedRelays  *telemetry.Gauge
+}
 
-	faultPlan, err := faults.Parse(*faultSpec)
+// newPanel wires the plant and registers its telemetry. The plant loop
+// publishes into the registry with atomic stores, so the HTTP goroutines
+// never race with the physics.
+func newPanel(n int, soc, solarW, loadW float64) (*panel, error) {
+	bank, err := battery.NewBank(battery.DefaultParams(), n, soc)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
+	}
+	p := &panel{
+		n:      n,
+		solarW: units.Watt(solarW),
+		loadW:  units.Watt(loadW),
+		bank:   bank,
+		fabric: relay.NewFabric(n),
+		probes: make([]*sensor.BatteryProbe, n),
+	}
+	for i := range p.probes {
+		p.probes[i] = sensor.NewBatteryProbe(i)
 	}
 
-	bank, err := battery.NewBank(battery.DefaultParams(), *n, *soc)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fabric := relay.NewFabric(*n)
-	probes := make([]*sensor.BatteryProbe, *n)
-	for i := range probes {
-		probes[i] = sensor.NewBatteryProbe(i)
-	}
-
-	controller := plc.New(*n)
-	controller.Sample = func(r *plc.RegisterFile) {
-		for i, u := range bank.Units() {
+	p.controller = plc.New(n)
+	p.controller.Sample = func(r *plc.RegisterFile) {
+		for i, u := range p.bank.Units() {
 			snap := u.Snapshot()
-			probes[i].Sample(snap.Terminal, snap.LastCurrent)
-			_ = r.SetInput(plc.InputVolt(i), probes[i].Volt.Raw())
-			_ = r.SetInput(plc.InputCurrent(i), probes[i].Current.Raw())
+			p.probes[i].Sample(snap.Terminal, snap.LastCurrent)
+			_ = r.SetInput(plc.InputVolt(i), p.probes[i].Volt.Raw())
+			_ = r.SetInput(plc.InputCurrent(i), p.probes[i].Current.Raw())
 		}
-		_ = r.SetInput(plc.InputSolarPower, uint16(*solarW))
-		_ = r.SetInput(plc.InputLoadPower, uint16(*loadW))
+		_ = r.SetInput(plc.InputSolarPower, uint16(p.solarW))
+		_ = r.SetInput(plc.InputLoadPower, uint16(p.loadW))
 	}
-	controller.Actuate = func(r *plc.RegisterFile) {
-		for i := 0; i < *n; i++ {
+	p.controller.Actuate = func(r *plc.RegisterFile) {
+		for i := 0; i < n; i++ {
 			cr, err1 := r.ReadCoils(plc.CoilCharge(i), 1)
 			dr, err2 := r.ReadCoils(plc.CoilDischarge(i), 1)
 			if err1 != nil || err2 != nil {
 				continue
 			}
-			pair := fabric.Pair(i)
+			pair := p.fabric.Pair(i)
 			switch {
 			case cr[0] && dr[0]:
 				pair.SetMode(relay.Open) // interlock
@@ -91,7 +112,95 @@ func main() {
 		}
 	}
 
-	srv := modbus.NewServer(controller.Regs)
+	reg := telemetry.NewRegistry()
+	p.reg = reg
+	p.socGauges = make([]*telemetry.Gauge, n)
+	p.tputGauges = make([]*telemetry.Gauge, n)
+	for i := range p.socGauges {
+		lbl := telemetry.Label{Key: "unit", Value: strconv.Itoa(i)}
+		p.socGauges[i] = reg.Gauge("insure_battery_soc",
+			"State of charge of one battery unit (0-1).", lbl)
+		p.tputGauges[i] = reg.Gauge("insure_battery_throughput_ah",
+			"Cumulative wear-weighted discharge throughput of one battery unit, amp-hours.", lbl)
+	}
+	p.relayCycles = reg.Gauge("insure_relay_cycles",
+		"Total mechanical switching cycles consumed across the relay fabric.")
+	p.failedRelays = reg.Gauge("insure_relay_failed",
+		"Relay pairs with an injected or detected hardware fault.")
+	scanHist := reg.Histogram("insure_plc_scan_duration_seconds",
+		"Wall-clock duration of one PLC scan cycle.", telemetry.DefTimeBuckets)
+	settleHist := reg.Histogram("insure_relay_settle_seconds",
+		"Time between a relay coil command and the contact settling.", telemetry.DefTimeBuckets)
+	p.controller.OnScan = func(d time.Duration) { scanHist.Observe(d.Seconds()) }
+	onSettle := func(w time.Duration) { settleHist.Observe(w.Seconds()) }
+	for i := 0; i < n; i++ {
+		p.fabric.Pair(i).Charge.OnSettle = onSettle
+		p.fabric.Pair(i).Discharge.OnSettle = onSettle
+	}
+	p.fabric.P1.OnSettle = onSettle
+	p.fabric.P2.OnSettle = onSettle
+	p.fabric.P3.OnSettle = onSettle
+	reg.AddHealthCheck("relay-fabric", func() error {
+		if f := p.failedRelays.Value(); f > 0 {
+			return fmt.Errorf("%.0f relay pairs faulted", f)
+		}
+		return nil
+	})
+	return p, nil
+}
+
+// tick advances the plant by dt at time-since-start elapsed and publishes
+// the cycle's telemetry.
+func (p *panel) tick(dt, elapsed time.Duration) {
+	charging := p.fabric.UnitsIn(relay.Charging)
+	discharging := p.fabric.UnitsIn(relay.Discharging)
+	p.bank.ChargeSet(charging, p.solarW, dt)
+	p.bank.DischargeSet(discharging, p.loadW, dt)
+	for _, i := range p.fabric.UnitsIn(relay.Open) {
+		p.bank.Unit(i).Rest(dt)
+	}
+	p.fabric.Tick(dt)
+	p.controller.Tick(dt)
+
+	p.reg.SetClock(elapsed)
+	p.relayCycles.Set(float64(p.fabric.TotalCycles()))
+	failed := 0
+	for i := 0; i < p.n; i++ {
+		if p.fabric.Pair(i).Failed() {
+			failed++
+		}
+	}
+	p.failedRelays.Set(float64(failed))
+	for i, u := range p.bank.Units() {
+		p.socGauges[i].Set(u.SoC())
+		p.tputGauges[i].Set(float64(u.Throughput()))
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insure-plcd: ")
+	listen := flag.String("listen", "127.0.0.1:1502", "Modbus TCP listen address")
+	n := flag.Int("units", 6, "battery units")
+	soc := flag.Float64("soc", 0.5, "initial state of charge")
+	solarW := flag.Float64("solar", 400, "charge-bus power budget (W)")
+	loadW := flag.Float64("load", 300, "discharge-bus load (W)")
+	faultSpec := flag.String("faults", "", "inject faults at time-since-start: comma-separated kind[:unit]@time[:magnitude] events, e.g. bat:2@2m:0.6,drop@5m (kinds: stick, drift, relay-open, relay-weld, bat, drop)")
+	metricsAddr := flag.String("metrics-addr", "127.0.0.1:9620", "HTTP listen address for /metrics and /healthz (empty disables)")
+	debugAddr := flag.String("debug-addr", "", "HTTP listen address for net/http/pprof (empty disables)")
+	flag.Parse()
+
+	faultPlan, err := faults.Parse(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p, err := newPanel(*n, *soc, *solarW, *loadW)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := modbus.NewServer(p.controller.Regs)
 	srv.Logf = log.Printf
 	addr, err := srv.Listen(*listen)
 	if err != nil {
@@ -101,10 +210,27 @@ func main() {
 	fmt.Printf("battery control panel on modbus-tcp://%s (%d units)\n", addr, *n)
 	fmt.Println("coils: 2i=charge relay, 2i+1=discharge relay; inputs: 2i=voltage code, 2i+1=current code")
 
+	if *metricsAddr != "" {
+		maddr, stopMetrics, err := p.reg.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopMetrics()
+		fmt.Printf("telemetry on http://%s/metrics and /healthz\n", maddr)
+	}
+	if *debugAddr != "" {
+		daddr, stopDebug, err := telemetry.ServeDebug(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopDebug()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", daddr)
+	}
+
 	injector := faults.NewInjector(faultPlan, faults.Target{
-		Bank:   bank,
-		Fabric: fabric,
-		Probes: probes,
+		Bank:   p.bank,
+		Fabric: p.fabric,
+		Probes: p.probes,
 		Panel:  srv,
 	})
 	injector.Logf = log.Printf
@@ -124,14 +250,6 @@ func main() {
 		case <-ticker.C:
 		}
 		injector.Tick(time.Since(start))
-		charging := fabric.UnitsIn(relay.Charging)
-		discharging := fabric.UnitsIn(relay.Discharging)
-		bank.ChargeSet(charging, units.Watt(*solarW), time.Second)
-		bank.DischargeSet(discharging, units.Watt(*loadW), time.Second)
-		for _, i := range fabric.UnitsIn(relay.Open) {
-			bank.Unit(i).Rest(time.Second)
-		}
-		fabric.Tick(time.Second)
-		controller.Tick(time.Second)
+		p.tick(time.Second, time.Since(start))
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"insure/internal/faults"
 	"insure/internal/sim"
 	"insure/internal/solar"
+	"insure/internal/telemetry"
 	"insure/internal/trace"
 	"insure/internal/units"
 )
@@ -48,11 +49,16 @@ func main() {
 	dumpFrames := flag.String("dump-frames", "", "write the recorder series CSV to this path")
 	dumpLog := flag.String("dump-log", "", "write the operational event log to this path")
 	faultSpec := flag.String("faults", "", "inject faults: comma-separated kind[:unit]@time[:magnitude] events, e.g. bat:2@12h30m:0.6,relay-open:4@13h (kinds: stick, drift, relay-open, relay-weld, bat)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live /metrics and /healthz on this address during the run (single-policy runs only)")
+	dumpTelemetry := flag.String("dump-telemetry", "", "write the end-of-run telemetry snapshot JSON to this path")
 	flag.Parse()
 
 	faultPlan, ferr := faults.Parse(*faultSpec)
 	if ferr != nil {
 		log.Fatal(ferr)
+	}
+	if *telemetryAddr != "" && *compare {
+		log.Fatal("-telemetry-addr serves one registry; use it without -compare")
 	}
 
 	cond := solar.Sunny
@@ -115,7 +121,7 @@ func main() {
 	// setup builds one fully-wired run; the returned System and Manager are
 	// also recorded in *out/*outMgr so the dump flags and the fault report
 	// can read them afterwards.
-	setup := func(name string, out **sim.System, outMgr *sim.Manager) func() (*sim.System, sim.Manager, error) {
+	setup := func(name string, out **sim.System, outMgr *sim.Manager, outReg **telemetry.Registry) func() (*sim.System, sim.Manager, error) {
 		return func() (*sim.System, sim.Manager, error) {
 			cfg := sim.DefaultConfig(tr)
 			cfg.BatteryCount = *batteries
@@ -138,10 +144,18 @@ func main() {
 				mgr = baseline.New(baseline.DefaultConfig())
 			}
 			*outMgr = mgr
+			if *telemetryAddr != "" || *dumpTelemetry != "" {
+				reg := telemetry.NewRegistry()
+				sys.AttachTelemetry(reg)
+				if c, ok := mgr.(*core.Manager); ok {
+					c.AttachTelemetry(reg)
+				}
+				*outReg = reg
+			}
 			return sys, mgr, nil
 		}
 	}
-	dump := func(name string, sys *sim.System) {
+	dump := func(name string, sys *sim.System, reg *telemetry.Registry) {
 		if *dumpFrames != "" {
 			path := *dumpFrames
 			if *compare {
@@ -167,16 +181,41 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		if *dumpTelemetry != "" && reg != nil {
+			path := *dumpTelemetry
+			if *compare {
+				path = name + "-" + path
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := reg.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 	run := func(name string) (sim.Result, sim.Manager) {
 		var sys *sim.System
 		var mgr sim.Manager
-		s, m, err := setup(name, &sys, &mgr)()
+		var reg *telemetry.Registry
+		s, m, err := setup(name, &sys, &mgr, &reg)()
 		if err != nil {
 			log.Fatal(err)
 		}
+		if reg != nil && *telemetryAddr != "" {
+			taddr, stop, err := reg.Serve(*telemetryAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer stop()
+			fmt.Printf("telemetry on http://%s/metrics and /healthz\n", taddr)
+		}
 		res := s.Run(m)
-		dump(name, sys)
+		dump(name, sys, reg)
 		return res, m
 	}
 
@@ -207,16 +246,17 @@ func main() {
 			names := []string{"insure", "baseline"}
 			systems := make([]*sim.System, len(names))
 			managers := make([]sim.Manager, len(names))
+			registries := make([]*telemetry.Registry, len(names))
 			runs := make([]sim.CampaignRun, len(names))
 			for i, name := range names {
-				runs[i] = sim.CampaignRun{Name: name, Setup: setup(name, &systems[i], &managers[i])}
+				runs[i] = sim.CampaignRun{Name: name, Setup: setup(name, &systems[i], &managers[i], &registries[i])}
 			}
 			results, err := sim.RunCampaign(context.Background(), 0, runs)
 			if err != nil {
 				log.Fatal(err)
 			}
 			for i, name := range names {
-				dump(name, systems[i])
+				dump(name, systems[i], registries[i])
 				report(results[i], managers[i])
 			}
 		} else {

@@ -124,6 +124,9 @@ func (m *Manager) quarantine(sys *sim.System, now time.Duration, i int, reason s
 	m.watch.quarantined[i] = true
 	m.groups[i] = GroupOffline
 	m.commissioned[i] = false
+	if m.tel != nil {
+		m.tel.quarantines.Inc()
+	}
 	m.watch.events = append(m.watch.events, FaultEvent{At: now, Unit: i, Reason: reason})
 	sys.Log.Addf(now, logbook.Emergency, "faultwatch",
 		"unit %d quarantined: %s", i, reason)

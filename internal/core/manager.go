@@ -165,6 +165,10 @@ type Manager struct {
 	// per-unit screen counters, and the quarantine event log.
 	watch faultWatch
 
+	// tel, when set by AttachTelemetry, mirrors the counters above into the
+	// live registry (telemetry.go).
+	tel *managerTelemetry
+
 	// Reusable scratch for the control pass. Control runs 1,380 times per
 	// simulated day across every experiment, so its group queries and
 	// membership sets must not allocate (see DESIGN.md's performance notes).
@@ -394,6 +398,9 @@ func (m *Manager) updateHistoryTable(sys *sim.System) {
 // the Eq-1 threshold move from Offline into the Charging group.
 func (m *Manager) screenOffline(sys *sim.System) {
 	m.screenings++
+	if m.tel != nil {
+		m.tel.screenings.Inc()
+	}
 	p := sys.Config().BatteryParams
 	// Eq-1: δD = D_U + D_L · T / T_L, with T the elapsed operating time.
 	perUnitBudget := float64(p.LifetimeAh) * (m.elapsed.Hours() / m.cfg.DesiredLifetime.Hours())
@@ -418,6 +425,9 @@ func (m *Manager) screenOffline(sys *sim.System) {
 			if g == GroupOffline && !m.watch.quarantined[i] && m.ahTable[i] < boosted {
 				m.groups[i] = GroupCharging
 				m.boostEvents++
+				if m.tel != nil {
+					m.tel.boostEvents.Inc()
+				}
 			}
 		}
 	}
@@ -759,6 +769,9 @@ func (m *Manager) temporalCap(sys *sim.System) {
 	switch {
 	case id > capTotal:
 		m.capEvents++
+		if m.tel != nil {
+			m.tel.capEvents.Inc()
+		}
 		if spec.Kind == workload.Batch {
 			if m.duty > m.cfg.MinDuty {
 				m.duty = math.Max(m.cfg.MinDuty, m.duty-m.cfg.DutyStep)

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+
+	"insure/internal/telemetry"
+)
+
+// managerTelemetry mirrors the manager's introspection counters into the
+// live registry. The plain int fields stay authoritative for tests and
+// results; the telemetry counters are the concurrency-safe copies a
+// /metrics scrape may read while a control pass is mid-flight.
+type managerTelemetry struct {
+	screenings  *telemetry.Counter
+	capEvents   *telemetry.Counter
+	boostEvents *telemetry.Counter
+	quarantines *telemetry.Counter
+}
+
+// AttachTelemetry registers the manager's counters on reg and installs a
+// faultwatch health check: /healthz degrades as soon as any battery unit is
+// quarantined. Call it once, before the first Control pass.
+func (m *Manager) AttachTelemetry(reg *telemetry.Registry) {
+	t := &managerTelemetry{
+		screenings: reg.Counter("insure_spm_screenings_total",
+			"SPM coarse-interval offline screenings run."),
+		capEvents: reg.Counter("insure_tpm_cap_events_total",
+			"TPM load-shedding actions on discharge-current overcap."),
+		boostEvents: reg.Counter("insure_spm_boost_events_total",
+			"Units admitted through the relaxed on-demand boost threshold."),
+		quarantines: reg.Counter("insure_faultwatch_quarantines_total",
+			"Battery units permanently removed from rotation by fault detection."),
+	}
+	m.tel = t
+	// The health check reads only the atomic counter, so it is safe from
+	// the HTTP goroutine while the control loop runs.
+	reg.AddHealthCheck("faultwatch", func() error {
+		if n := t.quarantines.Value(); n > 0 {
+			return fmt.Errorf("%d units quarantined", n)
+		}
+		return nil
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -54,6 +55,12 @@ type Event struct {
 	Class   Class
 	Subject string // component, e.g. "battery#3", "cluster", "genset"
 	Detail  string
+	// Seq is the book-wide arrival sequence number, assigned at Add. It
+	// breaks ties between events sharing a timestamp (a control pass logs
+	// several actions at the same sim-time), making rendered output
+	// deterministic across runs and correlatable with telemetry counters
+	// stamped by the same sim clock.
+	Seq uint64
 }
 
 // Book is an in-memory event log. It is safe for concurrent use (the PLC
@@ -62,6 +69,7 @@ type Event struct {
 type Book struct {
 	mu     sync.Mutex
 	events []Event
+	seq    uint64
 	// Cap bounds memory for long runs; 0 means unbounded. When full, the
 	// oldest events are dropped.
 	Cap int
@@ -74,7 +82,8 @@ func New(cap int) *Book { return &Book{Cap: cap} }
 func (b *Book) Add(at time.Duration, class Class, subject, detail string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.events = append(b.events, Event{At: at, Class: class, Subject: subject, Detail: detail})
+	b.seq++
+	b.events = append(b.events, Event{At: at, Class: class, Subject: subject, Detail: detail, Seq: b.seq})
 	if b.Cap > 0 && len(b.events) > b.Cap {
 		drop := len(b.events) - b.Cap
 		b.events = append(b.events[:0], b.events[drop:]...)
@@ -93,11 +102,21 @@ func (b *Book) Len() int {
 	return len(b.events)
 }
 
-// Events returns a copy of the retained events in order.
+// Events returns a copy of the retained events sorted by timestamp, with
+// the arrival sequence breaking ties. The sort is stable by construction
+// (At, then Seq — a total order), so rendered output is deterministic
+// across runs even when several goroutines logged at the same sim-time.
 func (b *Book) Events() []Event {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	return append([]Event(nil), b.events...)
+	out := append([]Event(nil), b.events...)
+	b.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
 }
 
 // CountByClass tallies events per class.
@@ -134,12 +153,24 @@ func (b *Book) Subjects() []string {
 	return out
 }
 
-// WriteText renders the log as human-readable lines.
+// escapeLine flattens control characters so an event can never break the
+// one-line-per-event invariant of the text renderer.
+func escapeLine(s string) string {
+	if !strings.ContainsAny(s, "\n\r") {
+		return s
+	}
+	s = strings.ReplaceAll(s, "\r\n", `\n`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, "\r", `\n`)
+}
+
+// WriteText renders the log as human-readable lines, one event per line
+// (embedded newlines in details are escaped).
 func (b *Book) WriteText(w io.Writer) error {
 	for _, e := range b.Events() {
 		_, err := fmt.Fprintf(w, "%02d:%02d:%02d %-9s %-12s %s\n",
 			int(e.At.Hours()), int(e.At.Minutes())%60, int(e.At.Seconds())%60,
-			e.Class, e.Subject, e.Detail)
+			e.Class, escapeLine(e.Subject), escapeLine(e.Detail))
 		if err != nil {
 			return err
 		}
@@ -147,15 +178,20 @@ func (b *Book) WriteText(w io.Writer) error {
 	return nil
 }
 
-// WriteCSV renders the log as CSV with a header row.
+// WriteCSV renders the log as RFC 4180 CSV with a header row. Fields
+// containing commas, quotes, or newlines are quoted/escaped by the
+// encoder, so hostile event messages round-trip through any CSV reader;
+// the seq column preserves the deterministic tie-break order for
+// downstream joins against telemetry snapshots.
 func (b *Book) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"seconds", "class", "subject", "detail"}); err != nil {
+	if err := cw.Write([]string{"seconds", "seq", "class", "subject", "detail"}); err != nil {
 		return err
 	}
 	for _, e := range b.Events() {
 		rec := []string{
 			strconv.FormatInt(int64(e.At/time.Second), 10),
+			strconv.FormatUint(e.Seq, 10),
 			e.Class.String(), e.Subject, e.Detail,
 		}
 		if err := cw.Write(rec); err != nil {

@@ -2,6 +2,7 @@ package logbook
 
 import (
 	"bytes"
+	"encoding/csv"
 	"strings"
 	"sync"
 	"testing"
@@ -67,11 +68,93 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("lines = %d", len(lines))
 	}
-	if lines[0] != "seconds,class,subject,detail" {
+	if lines[0] != "seconds,seq,class,subject,detail" {
 		t.Errorf("header = %q", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "3600,load,cluster") {
+	if !strings.HasPrefix(lines[1], "3600,1,load,cluster") {
 		t.Errorf("row = %q", lines[1])
+	}
+}
+
+// TestWriteCSVHostileStrings proves event messages containing commas,
+// quotes, and newlines survive a round trip through a standard CSV
+// reader — the §5 log data must stay machine-readable whatever the
+// control plane prints into it.
+func TestWriteCSVHostileStrings(t *testing.T) {
+	b := New(0)
+	hostile := []string{
+		`plain`,
+		`comma, separated, detail`,
+		`quoted "detail" here`,
+		"multi\nline\ndetail",
+		`mixed, "everything"` + "\nat once",
+	}
+	for i, d := range hostile {
+		b.Add(time.Duration(i)*time.Second, Emergency, "unit,with\"chars", d)
+	}
+	var buf bytes.Buffer
+	if err := b.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("rendered CSV does not parse: %v", err)
+	}
+	if len(rows) != len(hostile)+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(hostile)+1)
+	}
+	for i, d := range hostile {
+		row := rows[i+1]
+		if row[3] != "unit,with\"chars" {
+			t.Errorf("row %d subject = %q", i, row[3])
+		}
+		if row[4] != d {
+			t.Errorf("row %d detail = %q, want %q", i, row[4], d)
+		}
+	}
+}
+
+// TestEventsStableOrderOnEqualTimestamps proves events sharing a
+// timestamp come back in arrival order, deterministically.
+func TestEventsStableOrderOnEqualTimestamps(t *testing.T) {
+	b := New(0)
+	at := 9 * time.Hour
+	for i := 0; i < 10; i++ {
+		b.Addf(at, Power, "battery#1", "action %d", i)
+	}
+	// An earlier-timestamped event logged late must still sort first.
+	b.Add(8*time.Hour, Info, "late", "logged out of order")
+	evs := b.Events()
+	if evs[0].Subject != "late" {
+		t.Fatalf("first event = %+v, want the 8h event", evs[0])
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At == evs[i-1].At && evs[i].Seq < evs[i-1].Seq {
+			t.Fatalf("events %d/%d out of arrival order: %+v %+v", i-1, i, evs[i-1], evs[i])
+		}
+	}
+	for i := 0; i < 10; i++ {
+		want := "action " + string(rune('0'+i))
+		if evs[i+1].Detail != want {
+			t.Fatalf("event %d = %q, want %q", i+1, evs[i+1].Detail, want)
+		}
+	}
+}
+
+// TestWriteTextEscapesNewlines keeps the text renderer one line per event.
+func TestWriteTextEscapesNewlines(t *testing.T) {
+	b := New(0)
+	b.Add(time.Hour, Emergency, "bus", "first\nsecond\r\nthird")
+	var buf bytes.Buffer
+	if err := b.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimRight(buf.String(), "\n")
+	if strings.Count(out, "\n") != 0 {
+		t.Fatalf("event rendered across multiple lines: %q", out)
+	}
+	if !strings.Contains(out, `first\nsecond\nthird`) {
+		t.Errorf("escaped detail missing: %q", out)
 	}
 }
 

@@ -14,7 +14,11 @@ type Series struct {
 	sum, sumSq float64
 	min, max   float64
 	values     []float64 // retained for percentiles
-	keep       bool
+	// sorted caches the sort of values for Percentile; experiments query
+	// several percentiles per figure and must not re-sort for each.
+	sorted []float64
+	dirty  bool
+	keep   bool
 }
 
 // NewSeries returns an accumulator that retains values for percentiles.
@@ -37,6 +41,7 @@ func (s *Series) Add(v float64) {
 	s.sumSq += v * v
 	if s.keep {
 		s.values = append(s.values, v)
+		s.dirty = true
 	}
 }
 
@@ -51,11 +56,12 @@ func (s *Series) Mean() float64 {
 	return s.sum / float64(s.n)
 }
 
-// Min returns the smallest observation.
-func (s *Series) Min() float64 { return s.min }
+// Min returns the smallest observation. ok is false for an empty series,
+// which previously reported an indistinguishable zero value.
+func (s *Series) Min() (v float64, ok bool) { return s.min, s.n > 0 }
 
-// Max returns the largest observation.
-func (s *Series) Max() float64 { return s.max }
+// Max returns the largest observation. ok is false for an empty series.
+func (s *Series) Max() (v float64, ok bool) { return s.max, s.n > 0 }
 
 // StdDev returns the population standard deviation.
 func (s *Series) StdDev() float64 {
@@ -79,9 +85,12 @@ func (s *Series) Percentile(p float64) float64 {
 	if len(s.values) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(s.values))
-	copy(sorted, s.values)
-	sort.Float64s(sorted)
+	if s.dirty {
+		s.sorted = append(s.sorted[:0], s.values...)
+		sort.Float64s(s.sorted)
+		s.dirty = false
+	}
+	sorted := s.sorted
 	if p <= 0 {
 		return sorted[0]
 	}

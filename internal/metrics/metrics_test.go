@@ -20,8 +20,11 @@ func TestSeriesBasics(t *testing.T) {
 	if got := s.StdDev(); math.Abs(got-2) > 1e-12 {
 		t.Errorf("stddev = %v, want 2", got)
 	}
-	if s.Min() != 2 || s.Max() != 9 {
-		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	if mn, ok := s.Min(); !ok || mn != 2 {
+		t.Errorf("min = %v (ok=%v)", mn, ok)
+	}
+	if mx, ok := s.Max(); !ok || mx != 9 {
+		t.Errorf("max = %v (ok=%v)", mx, ok)
 	}
 }
 
@@ -29,6 +32,17 @@ func TestEmptySeries(t *testing.T) {
 	s := NewSeries()
 	if s.Mean() != 0 || s.StdDev() != 0 || s.Percentile(50) != 0 {
 		t.Error("empty series aggregates should be zero")
+	}
+	if _, ok := s.Min(); ok {
+		t.Error("Min on an empty series must report ok=false")
+	}
+	if _, ok := s.Max(); ok {
+		t.Error("Max on an empty series must report ok=false")
+	}
+	// A genuine zero observation is distinguishable from emptiness.
+	s.Add(0)
+	if mn, ok := s.Min(); !ok || mn != 0 {
+		t.Errorf("min after Add(0) = %v (ok=%v), want 0 (true)", mn, ok)
 	}
 }
 
@@ -94,7 +108,9 @@ func TestMeanBoundedByMinMax(t *testing.T) {
 			return true
 		}
 		m := s.Mean()
-		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+		mn, _ := s.Min()
+		mx, _ := s.Max()
+		return m >= mn-1e-9 && m <= mx+1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -122,5 +138,79 @@ func TestReductionImprovement(t *testing.T) {
 	}
 	if got := ReductionImprovement(0, 0); got != 0 {
 		t.Errorf("0/0 reduction = %v", got)
+	}
+}
+
+// TestImprovementEdgeCases pins the base=0, opt=0, and negative-value
+// behaviour of the Figs 17–21 improvement calculus.
+func TestImprovementEdgeCases(t *testing.T) {
+	// opt=0 with a real baseline: total regression.
+	if got := Improvement(0, 100); got != -1 {
+		t.Errorf("Improvement(0, 100) = %v, want -1", got)
+	}
+	// Negative values (e.g. net energy balance going from deficit to
+	// surplus): the sign convention follows the raw formula.
+	if got := Improvement(-50, -100); math.Abs(got-(-0.5)) > 1e-12 {
+		t.Errorf("Improvement(-50, -100) = %v, want -0.5", got)
+	}
+	if got := Improvement(50, -100); math.Abs(got-(-1.5)) > 1e-12 {
+		t.Errorf("Improvement(50, -100) = %v, want -1.5", got)
+	}
+	// base=0 is the documented Inf escape, never NaN.
+	if !math.IsInf(Improvement(-1, 0), 1) {
+		t.Error("Improvement(-1, 0) should be +Inf, not NaN")
+	}
+}
+
+func TestReductionImprovementEdgeCases(t *testing.T) {
+	// Latency grew: negative improvement.
+	if got := ReductionImprovement(200, 100); math.Abs(got-(-1)) > 1e-12 {
+		t.Errorf("ReductionImprovement(200, 100) = %v, want -1", got)
+	}
+	// opt=0 with real baseline: 100% reduction.
+	if got := ReductionImprovement(0, 100); got != 1 {
+		t.Errorf("ReductionImprovement(0, 100) = %v, want 1", got)
+	}
+	// base=0, opt>0 surfaces as -Inf (a regression from nothing), not NaN.
+	if !math.IsInf(ReductionImprovement(5, 0), -1) {
+		t.Error("ReductionImprovement(5, 0) should be -Inf")
+	}
+	if got := ReductionImprovement(-20, -10); math.Abs(got-(-1)) > 1e-12 {
+		t.Errorf("ReductionImprovement(-20, -10) = %v, want -1", got)
+	}
+}
+
+// TestPercentileCacheInvalidation proves the cached sort is refreshed by
+// Add and not rebuilt between reads.
+func TestPercentileCacheInvalidation(t *testing.T) {
+	s := NewSeries()
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(100); got != 10 {
+		t.Fatalf("p100 = %v", got)
+	}
+	s.Add(99) // must invalidate the cached sort
+	if got := s.Percentile(100); got != 99 {
+		t.Fatalf("p100 after Add = %v, want 99", got)
+	}
+	// A second read with no intervening Add reuses the cache: no
+	// allocation, no re-sort.
+	if n := testing.AllocsPerRun(100, func() {
+		if got := s.Percentile(50); got == 0 {
+			t.Fatal("p50 = 0")
+		}
+	}); n != 0 {
+		t.Errorf("cached Percentile allocates %.2f times per call, want 0", n)
+	}
+	// The cache must be a copy: percentile order must not disturb the
+	// insertion-ordered retained values (Add-after-Percentile keeps min/max
+	// coherent).
+	s.Add(0)
+	if mn, ok := s.Min(); !ok || mn != 0 {
+		t.Errorf("min = %v (ok=%v)", mn, ok)
+	}
+	if got := s.Percentile(0); got != 0 {
+		t.Errorf("p0 = %v, want 0", got)
 	}
 }

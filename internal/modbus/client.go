@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,8 +23,15 @@ type Client struct {
 	addr string
 	txn  uint16
 
-	retries    int64
-	reconnects int64
+	// Fault counters are atomics, not c.mu-guarded fields: c.mu is held
+	// across the entire retry loop including its backoff sleeps, so a
+	// mutex-guarded reader (a live /metrics scrape) would stall for whole
+	// backoff windows — and, before this change, raced with the bare
+	// increments under load. Atomic reads are wait-free and safe to call
+	// from any goroutine at any time.
+	retries    atomic.Int64
+	timeouts   atomic.Int64
+	reconnects atomic.Int64
 
 	// Timeout bounds each round trip (default 5 s).
 	Timeout time.Duration
@@ -58,19 +66,15 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error { return c.conn.Close() }
 
 // Retries returns how many round trips were retried after a transport
-// failure.
-func (c *Client) Retries() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.retries
-}
+// failure. Safe to call concurrently with in-flight requests; it never
+// blocks on the connection mutex.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// Timeouts returns how many attempts failed on an I/O deadline.
+func (c *Client) Timeouts() int64 { return c.timeouts.Load() }
 
 // Reconnects returns how many times the client redialled the panel.
-func (c *Client) Reconnects() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.reconnects
-}
+func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
 
 // roundTrip sends a request PDU and returns the response PDU, retrying
 // transport failures with exponential backoff.
@@ -78,6 +82,7 @@ func (c *Client) roundTrip(pdu []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	resp, err := c.attempt(pdu)
+	c.countTimeout(err)
 	backoff := c.RetryBackoff
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
@@ -87,7 +92,7 @@ func (c *Client) roundTrip(pdu []byte) ([]byte, error) {
 		if errors.As(err, &ex) {
 			break // the server answered; retrying would repeat the refusal
 		}
-		c.retries++
+		c.retries.Add(1)
 		time.Sleep(backoff)
 		backoff *= 2
 		if dialErr := c.redial(); dialErr != nil {
@@ -95,8 +100,18 @@ func (c *Client) roundTrip(pdu []byte) ([]byte, error) {
 			continue
 		}
 		resp, err = c.attempt(pdu)
+		c.countTimeout(err)
 	}
 	return resp, err
+}
+
+// countTimeout tallies deadline-exceeded attempts (the transducer link's
+// "panel went quiet" signal, distinct from resets and refusals).
+func (c *Client) countTimeout(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.timeouts.Add(1)
+	}
 }
 
 // redial replaces a (presumed broken) connection with a fresh one.
@@ -108,7 +123,7 @@ func (c *Client) redial() error {
 		return fmt.Errorf("modbus: redial %s: %w", c.addr, err)
 	}
 	c.conn = conn
-	c.reconnects++
+	c.reconnects.Add(1)
 	return nil
 }
 

@@ -1,0 +1,19 @@
+package modbus
+
+import "insure/internal/telemetry"
+
+// RegisterTelemetry exposes the client's fault counters on reg. The gauges
+// read the client's atomic counters directly, so a live scrape observes an
+// in-flight retry storm in real time and never blocks on the connection
+// mutex (which is held across backoff sleeps).
+func (c *Client) RegisterTelemetry(reg *telemetry.Registry) {
+	reg.FuncGauge("insure_modbus_client_retries",
+		"Round trips retried after a transport failure.",
+		func() float64 { return float64(c.Retries()) })
+	reg.FuncGauge("insure_modbus_client_timeouts",
+		"Attempts that died on an I/O deadline (the panel went quiet).",
+		func() float64 { return float64(c.Timeouts()) })
+	reg.FuncGauge("insure_modbus_client_reconnects",
+		"Times the client redialled the panel.",
+		func() float64 { return float64(c.Reconnects()) })
+}

@@ -194,6 +194,11 @@ type PLC struct {
 	// Actuate drives plant actuators from the register file.
 	Actuate func(*RegisterFile)
 
+	// OnScan, when set, is called after every completed scan cycle with the
+	// wall-clock duration the cycle took. The duration is only measured when
+	// the hook is installed, so an uninstrumented controller pays nothing.
+	OnScan func(elapsed time.Duration)
+
 	scans    int64
 	lastScan time.Duration
 	accum    time.Duration
@@ -232,6 +237,10 @@ func (p *PLC) Tick(dt time.Duration) {
 func (p *PLC) ScanNow() { p.scan() }
 
 func (p *PLC) scan() {
+	var start time.Time
+	if p.OnScan != nil {
+		start = time.Now()
+	}
 	if p.Sample != nil {
 		p.Sample(p.Regs)
 	}
@@ -239,4 +248,7 @@ func (p *PLC) scan() {
 		p.Actuate(p.Regs)
 	}
 	p.scans++
+	if p.OnScan != nil {
+		p.OnScan(time.Since(start))
+	}
 }

@@ -52,7 +52,15 @@ type Relay struct {
 	cycles  int64
 	aborted int64
 	pending time.Duration // time remaining until an in-flight switch settles
+	waited  time.Duration // sim-time elapsed since the in-flight Set
 	fail    FailMode
+
+	// OnSettle, when set, is called from Tick each time an in-flight switch
+	// finishes settling, with the sim-time that elapsed between the Set and
+	// the settle. The value is quantised to the caller's tick size — it is
+	// the settle latency as the control plane observes it, not the 25 ms
+	// electromechanical constant.
+	OnSettle func(waited time.Duration)
 }
 
 // New returns an open relay with the given name.
@@ -130,15 +138,20 @@ func (r *Relay) Set(closed bool) {
 	r.closed = closed
 	r.cycles++
 	r.pending = SwitchTime
+	r.waited = 0
 }
 
 // Tick advances time for settle accounting, clamping at zero so repeated
 // ticks cannot drift the pending balance negative.
 func (r *Relay) Tick(dt time.Duration) {
 	if r.pending > 0 {
+		r.waited += dt
 		r.pending -= dt
 		if r.pending < 0 {
 			r.pending = 0
+		}
+		if r.pending == 0 && r.OnSettle != nil {
+			r.OnSettle(r.waited)
 		}
 	}
 }

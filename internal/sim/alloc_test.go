@@ -6,6 +6,7 @@ import (
 
 	"insure/internal/core"
 	"insure/internal/sim"
+	"insure/internal/telemetry"
 	"insure/internal/trace"
 )
 
@@ -50,6 +51,23 @@ func TestScanNowAllocFree(t *testing.T) {
 		sys.PLC.ScanNow()
 	}); n != 0 {
 		t.Fatalf("wired PLC.ScanNow allocates %.2f times per call, want 0", n)
+	}
+}
+
+// TestTickWithTelemetryAllocFree pins the instrumented steady-state tick at
+// zero allocations: publishing gauges, observing the scan-duration and
+// settle histograms, and advancing the registry clock are all atomic ops on
+// instruments resolved at attach time.
+func TestTickWithTelemetryAllocFree(t *testing.T) {
+	sys, _ := newSteadySystem(t)
+	sys.AttachTelemetry(telemetry.NewRegistry())
+	tod := 8 * time.Hour
+	step := sys.Config().Step
+	if n := testing.AllocsPerRun(2000, func() {
+		sys.Tick(tod, nil)
+		tod += step
+	}); n != 0 {
+		t.Fatalf("instrumented System.Tick allocates %.2f times per call, want 0", n)
 	}
 }
 

@@ -153,6 +153,10 @@ type System struct {
 	// allocate in the steady state: the zero-alloc tick invariant covers it.
 	onTick func(tod time.Duration)
 
+	// tel, when set by AttachTelemetry, mirrors plant state into the live
+	// telemetry registry at the end of every tick (telemetry.go).
+	tel *telemetryHooks
+
 	auxEnergy units.WattHour
 
 	// solarLUT is the trace resampled onto the simulation step, built once
@@ -460,8 +464,14 @@ func (s *System) Tick(tod time.Duration, mgr Manager) {
 			// shortfalls; a sustained one trips the inverter and the
 			// cluster loses power mid-operation (§2.3's disruption).
 			s.shortfallFor += dt
+			if s.tel != nil {
+				s.tel.deficitTicks.Inc()
+			}
 			if s.shortfallFor >= s.cfg.HoldUp {
 				s.brownouts++
+				if s.tel != nil {
+					s.tel.brownouts.Inc()
+				}
 				s.Cluster.Shutdown()
 				s.shortfallFor = 0
 				s.Log.Addf(tod, logbook.Emergency, "bus",
@@ -520,6 +530,10 @@ func (s *System) Tick(tod time.Duration, mgr Manager) {
 		if v < s.minVolt {
 			s.minVolt = v
 		}
+	}
+
+	if s.tel != nil {
+		s.tel.publish(s, tod)
 	}
 
 	// 7. Trace recording (down-sampled).

@@ -1,0 +1,118 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"insure/internal/core"
+	"insure/internal/sim"
+	"insure/internal/telemetry"
+	"insure/internal/trace"
+)
+
+// TestAttachTelemetryEndToEnd runs an instrumented, managed plant through
+// the morning commissioning ramp and checks the registry reflects what the
+// plant actually did: the clock follows sim time, every unit publishes SoC,
+// the PLC scan histogram ticks once per simulation second, and the relay
+// settle histogram saw the commissioning mode transitions.
+func TestAttachTelemetryEndToEnd(t *testing.T) {
+	cfg := sim.DefaultConfig(trace.FullSystemHigh())
+	sys, err := sim.New(cfg, sim.NewSeismicSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := core.New(core.DefaultConfig(), cfg.BatteryCount)
+	reg := telemetry.NewRegistry()
+	sys.AttachTelemetry(reg)
+	mgr.AttachTelemetry(reg)
+
+	start := 5 * time.Hour
+	end := 10 * time.Hour
+	for tod := start; tod < end; tod += cfg.Step {
+		sys.Tick(tod, mgr)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.SimClockSeconds; got != (end - cfg.Step).Seconds() {
+		t.Errorf("sim clock = %v, want %v", got, (end - cfg.Step).Seconds())
+	}
+	for i := 0; i < cfg.BatteryCount; i++ {
+		id := `insure_battery_soc{unit="` + string(rune('0'+i)) + `"}`
+		soc, ok := snap.Gauges[id]
+		if !ok {
+			t.Fatalf("snapshot missing %s; gauges = %v", id, snap.Gauges)
+		}
+		if soc < 0 || soc > 1 {
+			t.Errorf("%s = %v, outside [0, 1]", id, soc)
+		}
+	}
+	ticks := int64((end - start) / cfg.Step)
+	scan := snap.Histograms["insure_plc_scan_duration_seconds"]
+	// One scan per tick plus the manager's ScanNow after each control pass
+	// and the priming scan in New.
+	if scan.Count <= ticks {
+		t.Errorf("scan histogram count = %d, want > %d", scan.Count, ticks)
+	}
+	settle := snap.Histograms["insure_relay_settle_seconds"]
+	if settle.Count == 0 {
+		t.Error("no relay settles observed despite commissioning transitions")
+	}
+	if v := snap.Gauges["insure_relay_cycles"]; v <= 0 {
+		t.Errorf("relay cycles gauge = %v, want > 0", v)
+	}
+	if screens := snap.Counters["insure_spm_screenings_total"]; screens != int64(mgr.Screenings()) {
+		t.Errorf("telemetry screenings = %d, manager reports %d", screens, mgr.Screenings())
+	}
+
+	// The exposition must carry the same data.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"insure_sim_clock_seconds",
+		`insure_battery_soc{unit="0"}`,
+		"insure_plc_scan_duration_seconds_bucket",
+		"insure_faultwatch_quarantines_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTelemetrySurvivesBrownout drives a plant into a sustained shortfall
+// and checks the brownout and deficit counters advance alongside the
+// logbook's emergency record.
+func TestTelemetrySurvivesBrownout(t *testing.T) {
+	cfg := sim.DefaultConfig(trace.FullSystemHigh())
+	cfg.HoldUp = 5 * time.Second
+	sys, err := sim.New(cfg, sim.NewSeismicSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sys.AttachTelemetry(reg)
+
+	// No manager: force the cluster on with zero solar (night) and no
+	// discharging units, so the deficit goes fully unserved.
+	sys.Cluster.SetTargetVMs(4)
+	for tod := 0 * time.Hour; tod < time.Hour; tod += cfg.Step {
+		sys.Tick(tod, nil)
+		if sys.Brownouts() > 0 {
+			break
+		}
+	}
+	if sys.Brownouts() == 0 {
+		t.Fatal("plant never browned out under a forced unserved deficit")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["insure_brownouts_total"]; got != int64(sys.Brownouts()) {
+		t.Errorf("telemetry brownouts = %d, plant reports %d", got, sys.Brownouts())
+	}
+	if snap.Counters["insure_power_deficit_ticks_total"] == 0 {
+		t.Error("deficit ticks counter never advanced")
+	}
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"insure/internal/telemetry/promtest"
+)
+
+// TestMetricsEndpoint serves a populated registry over HTTP and runs the
+// scrape through the strict format parser — the /metrics acceptance test.
+func TestMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.SetClock(12 * time.Hour)
+	for i := 0; i < 3; i++ {
+		r.Gauge("insure_battery_soc", "Per-unit state of charge.",
+			Label{"unit", fmt.Sprint(i)}).Set(0.5 + float64(i)*0.1)
+	}
+	r.Counter("insure_brownouts_total", "Brownouts.").Inc()
+	h := r.Histogram("insure_plc_scan_seconds", "Scan durations.", DefTimeBuckets)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) * 1e-3)
+	}
+	addr, stop, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	samples := promtest.Scrape(t, "http://"+addr.String()+"/metrics")
+	found := map[string]float64{}
+	for _, s := range samples {
+		found[s.Name+promtest.LabelSig(s.Labels)] = s.Value
+	}
+	if found["insure_sim_clock_seconds"] != (12 * time.Hour).Seconds() {
+		t.Errorf("sim clock = %v", found["insure_sim_clock_seconds"])
+	}
+	if found["insure_battery_soc{unit=2}"] != 0.7 {
+		t.Errorf("soc gauge missing or wrong: %v", found)
+	}
+	if found["insure_brownouts_total"] != 1 {
+		t.Errorf("brownout counter = %v", found["insure_brownouts_total"])
+	}
+	if found["insure_plc_scan_seconds_count"] != 10 {
+		t.Errorf("scan histogram count = %v", found["insure_plc_scan_seconds_count"])
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	r := NewRegistry()
+	degraded := false
+	r.AddHealthCheck("faultwatch", func() error {
+		if degraded {
+			return errors.New("2 units quarantined")
+		}
+		return nil
+	})
+	addr, stop, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	url := "http://" + addr.String() + "/healthz"
+
+	get := func() (int, map[string]any) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get()
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthy: code=%d body=%v", code, body)
+	}
+	degraded = true
+	code, body = get()
+	if code != http.StatusServiceUnavailable || body["status"] != "degraded" {
+		t.Fatalf("degraded: code=%d body=%v", code, body)
+	}
+	checks := body["checks"].(map[string]any)
+	if !strings.Contains(checks["faultwatch"].(string), "quarantined") {
+		t.Errorf("checks = %v", checks)
+	}
+}
+
+func TestDebugMuxServesPprof(t *testing.T) {
+	addr, stop, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr.String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %s", resp.Status)
+	}
+}
