@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-faults smoke-faults smoke-metrics vet check bench bench-json experiments clean
+.PHONY: all build test race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos vet check bench bench-json experiments clean
 
 all: build
 
@@ -36,11 +36,25 @@ smoke-metrics:
 	$(GO) test -race -count=1 ./internal/telemetry/...
 	$(GO) test -count=1 -run 'TestTickWithTelemetryAllocFree' ./internal/sim
 
+# smoke-chaos runs the quick seeded crash campaign: controller kills (clean
+# and torn-tail) plus plant faults against the journal/recovery path, with
+# every per-tick safety invariant checked. A failing campaign prints its
+# seed; rerun it with `go test -run TestCampaign ./internal/chaos -v`.
+smoke-chaos:
+	$(GO) test -count=1 -run 'TestCampaignSmoke' -v ./internal/chaos
+
+# race-chaos runs the full fieldbus campaign — 200+ seeded events including
+# Modbus partitions through the flaky proxy, then a bit-identical replay —
+# under the race detector.
+race-chaos:
+	$(GO) test -race -count=1 -run 'TestCampaignFieldbusAndReplay|TestProxyConcurrentClientsUnderChaos' ./internal/chaos ./internal/faults
+
 # check is the CI gate: static analysis, a clean build, the full test suite
 # under the race detector (the parallel experiment engine and campaign
 # runner are exercised concurrently there), the injected-fault smoke
-# simulation, and the telemetry-plane smoke test.
-check: vet build race race-faults smoke-faults smoke-metrics
+# simulation, the telemetry-plane smoke test, and the crash-recovery chaos
+# campaigns.
+check: vet build race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos
 
 # bench runs the simulation hot-path and experiment benchmarks.
 bench:

@@ -13,6 +13,7 @@ import (
 	"insure/internal/blink"
 	"insure/internal/core"
 	"insure/internal/experiments"
+	"insure/internal/journal"
 	"insure/internal/sim"
 	"insure/internal/telemetry"
 	"insure/internal/trace"
@@ -98,6 +99,38 @@ func BenchmarkSystemTick(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tod := 8*time.Hour + time.Duration(i%40000)*time.Second
 		sys.Tick(tod, mgr)
+	}
+}
+
+// BenchmarkSystemTickJournaled is BenchmarkSystemTick with the crash-safe
+// control plane attached: every control pass serializes the full manager
+// state into the write-ahead journal (fsync disabled so the benchmark
+// measures the CPU cost of journaling, not the disk). Compare with
+// BenchmarkSystemTick to see the durability overhead on the hot path.
+func BenchmarkSystemTickJournaled(b *testing.B) {
+	cfg := sim.DefaultConfig(trace.FullSystemHigh())
+	sys, err := sim.New(cfg, sim.NewSeismicSink())
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := journal.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	store.Sync = false
+	mgr := core.NewJournaled(core.New(core.DefaultConfig(), cfg.BatteryCount), store)
+	reg := telemetry.NewRegistry()
+	sys.AttachTelemetry(reg)
+	mgr.AttachTelemetry(reg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tod := 8*time.Hour + time.Duration(i%40000)*time.Second
+		sys.Tick(tod, mgr)
+	}
+	if err := mgr.Err(); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -188,6 +188,8 @@ func main() {
 	faultSpec := flag.String("faults", "", "inject faults at time-since-start: comma-separated kind[:unit]@time[:magnitude] events, e.g. bat:2@2m:0.6,drop@5m (kinds: stick, drift, relay-open, relay-weld, bat, drop)")
 	metricsAddr := flag.String("metrics-addr", "127.0.0.1:9620", "HTTP listen address for /metrics and /healthz (empty disables)")
 	debugAddr := flag.String("debug-addr", "", "HTTP listen address for net/http/pprof (empty disables)")
+	stateDir := flag.String("state-dir", "", "journal panel state to this directory; a restarted daemon resumes SoC, wear, relay and register state")
+	sessionTimeout := flag.Duration("session-timeout", 30*time.Second, "idle limit before a silent Modbus session is reaped (0 disables)")
 	flag.Parse()
 
 	faultPlan, err := faults.Parse(*faultSpec)
@@ -200,8 +202,32 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Durable state: open the journal and, if a previous incarnation left
+	// state behind, resume from it — the batteries do not forget their
+	// charge because the daemon restarted.
+	var ps *panelStore
+	var resumeAt time.Duration
+	if *stateDir != "" {
+		ps, err = openPanelStore(*stateDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ps.Close()
+		elapsed, restored, err := ps.restoreInto(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if restored {
+			resumeAt = elapsed
+			p.controller.ScanNow() // re-drive the fabric from restored coils
+			fmt.Printf("resumed panel state from %s (elapsed %v)\n", *stateDir, elapsed)
+		}
+	}
+
 	srv := modbus.NewServer(p.controller.Regs)
 	srv.Logf = log.Printf
+	srv.SessionTimeout = *sessionTimeout
+	srv.RegisterTelemetry(p.reg)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatal(err)
@@ -238,18 +264,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Real-time plant loop: 1 s physics ticks, PLC scanning continuously.
-	start := time.Now()
-	ticker := time.NewTicker(time.Second)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			log.Print("signal received, draining connections")
-			return
-		case <-ticker.C:
+	// Real-time plant loop: 1 s physics ticks under the watchdog. A
+	// panicked or wedged loop is replaced in-process, re-synced from the
+	// journal, and its relay intent re-driven; a killed process resumes
+	// from the same journal at next boot.
+	sup := newSupervisor(p, ps)
+	sup.setElapsed(resumeAt)
+	sup.onTick = func(elapsed time.Duration) { injector.Tick(elapsed) }
+	sup.registerTelemetry(p.reg)
+	sup.Run(ctx)
+	log.Print("signal received, draining connections")
+	if ps != nil {
+		if err := ps.Err(); err != nil {
+			log.Printf("warning: state journal degraded during run: %v", err)
 		}
-		injector.Tick(time.Since(start))
-		p.tick(time.Second, time.Since(start))
 	}
 }

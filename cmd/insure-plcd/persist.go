@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"insure/internal/journal"
+)
+
+// panelStateVersion guards the binary layout of a serialized panel.
+const panelStateVersion = 1
+
+// defaultPanelSnapshotEvery is the snapshot cadence in plant ticks: at the
+// daemon's 1 s tick a snapshot rotates the journal once a minute.
+const defaultPanelSnapshotEvery = 60
+
+// appendState serializes everything a restarted daemon needs to resume:
+// the sim-elapsed clock, the battery wells and wear counters, the relay
+// fabric (positions, in-flight settles, faults), and the PLC's command
+// registers. Input/discrete registers are plant-mirrored and refreshed by
+// the first scan after restore; persisting them would mask live readings.
+func (p *panel) appendState(e *journal.Encoder, elapsed time.Duration) {
+	e.U8(panelStateVersion)
+	e.Dur(elapsed)
+	p.bank.AppendState(e)
+	p.fabric.AppendState(e)
+	p.controller.Regs.AppendState(e)
+}
+
+// restoreState decodes a state image into the EXISTING bank, fabric, and
+// register file — the Modbus server and telemetry closures hold pointers
+// into them, so recovery must mutate in place, never swap objects. Returns
+// the elapsed clock the image was taken at.
+func (p *panel) restoreState(b []byte) (time.Duration, error) {
+	d := journal.NewDecoder(b)
+	d.ExpectVersion(panelStateVersion)
+	elapsed := d.Dur()
+	if err := d.Err(); err != nil {
+		return 0, fmt.Errorf("panel state header: %w", err)
+	}
+	if err := p.bank.RestoreState(d); err != nil {
+		return 0, fmt.Errorf("panel bank: %w", err)
+	}
+	if err := p.fabric.RestoreState(d); err != nil {
+		return 0, fmt.Errorf("panel fabric: %w", err)
+	}
+	if err := p.controller.Regs.RestoreState(d); err != nil {
+		return 0, fmt.Errorf("panel registers: %w", err)
+	}
+	return elapsed, d.Err()
+}
+
+// panelStore journals the panel state once per plant tick. All store
+// access is mutex-guarded: the watchdog may re-read the journal to re-sync
+// the plant while an abandoned loop incarnation is still unwinding out of
+// a stalled commit.
+type panelStore struct {
+	dir string
+
+	mu            sync.Mutex
+	store         *journal.Store
+	enc           journal.Encoder
+	snapshotEvery int
+	ticks         int
+	err           error
+}
+
+// openPanelStore opens (or creates) the state directory. Any torn tail
+// left by a crash is truncated away here.
+func openPanelStore(dir string) (*panelStore, error) {
+	st, err := journal.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &panelStore{dir: dir, store: st, snapshotEvery: defaultPanelSnapshotEvery}, nil
+}
+
+// restoreInto loads the newest committed state image into p. Returns the
+// image's elapsed clock and whether any state was found.
+func (s *panelStore) restoreInto(p *panel) (time.Duration, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := journal.Load(s.dir)
+	if err != nil {
+		return 0, false, err
+	}
+	payload := res.Snapshot
+	if len(res.Entries) > 0 {
+		payload = res.Entries[len(res.Entries)-1]
+	}
+	if payload == nil {
+		return 0, false, nil
+	}
+	elapsed, err := p.restoreState(payload)
+	if err != nil {
+		return 0, false, err
+	}
+	return elapsed, true, nil
+}
+
+// commit journals the panel's current state. Errors are sticky and
+// surfaced through Err — durability degrades, the plant keeps running.
+func (s *panelStore) commit(p *panel, elapsed time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ticks++
+	s.enc.Reset()
+	p.appendState(&s.enc, elapsed)
+	var err error
+	if s.snapshotEvery > 0 && s.ticks%s.snapshotEvery == 0 {
+		err = s.store.Snapshot(s.enc.Bytes())
+	} else {
+		_, err = s.store.Append(s.enc.Bytes())
+	}
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Err returns the first commit error, or nil.
+func (s *panelStore) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close closes the underlying journal.
+func (s *panelStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Close()
+}

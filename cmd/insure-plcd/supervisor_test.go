@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"insure/internal/journal"
+	"insure/internal/plc"
+	"insure/internal/relay"
+)
+
+func testPanel(t *testing.T, n int) *panel {
+	t.Helper()
+	p, err := newPanel(n, 0.5, 400, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPanelStateRoundTrip proves the daemon's full state image — clock,
+// batteries, fabric, command registers — restores byte-identically into a
+// freshly-wired panel.
+func TestPanelStateRoundTrip(t *testing.T) {
+	p := testPanel(t, 4)
+	if err := p.controller.Regs.WriteCoil(plc.CoilCharge(1), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.controller.Regs.WriteCoil(plc.CoilDischarge(2), true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		p.tick(time.Second, time.Duration(i+1)*time.Second)
+	}
+
+	var e journal.Encoder
+	p.appendState(&e, 30*time.Second)
+
+	q := testPanel(t, 4)
+	elapsed, err := q.restoreState(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 30*time.Second {
+		t.Fatalf("elapsed = %v, want 30s", elapsed)
+	}
+	var e2 journal.Encoder
+	q.appendState(&e2, elapsed)
+	if string(e.Bytes()) != string(e2.Bytes()) {
+		t.Fatal("restored panel state is not byte-identical")
+	}
+	if q.fabric.Pair(1).Mode() != relay.Charging || q.fabric.Pair(2).Mode() != relay.Discharging {
+		t.Fatalf("fabric modes lost: %v %v", q.fabric.Pair(1).Mode(), q.fabric.Pair(2).Mode())
+	}
+	// And the restored panel keeps ticking in lockstep with the original.
+	p.tick(time.Second, 31*time.Second)
+	q.tick(time.Second, 31*time.Second)
+	e.Reset()
+	e2.Reset()
+	p.appendState(&e, 31*time.Second)
+	q.appendState(&e2, 31*time.Second)
+	if string(e.Bytes()) != string(e2.Bytes()) {
+		t.Fatal("restored panel diverged on the next tick")
+	}
+}
+
+// TestSupervisorRecoversFromPanic: a hook that panics kills the loop
+// incarnation; the watchdog must start a fresh one that keeps ticking.
+func TestSupervisorRecoversFromPanic(t *testing.T) {
+	p := testPanel(t, 2)
+	ps, err := openPanelStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	sup := newSupervisor(p, ps)
+	sup.Interval = time.Millisecond
+	sup.Patience = 200 * time.Millisecond
+	var fired atomic.Bool
+	sup.onTick = func(elapsed time.Duration) {
+		if elapsed >= 5*time.Millisecond && fired.CompareAndSwap(false, true) {
+			panic("injected control-loop fault")
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sup.Run(ctx)
+
+	waitFor(t, 5*time.Second, func() bool { return sup.Restarts() >= 1 })
+	after := sup.Elapsed()
+	waitFor(t, 5*time.Second, func() bool { return sup.Elapsed() > after+10*time.Millisecond })
+	if err := ps.Err(); err != nil {
+		t.Fatalf("journal degraded across panic recovery: %v", err)
+	}
+}
+
+// TestSupervisorRecoversWedgedLoop: a hook that never returns starves the
+// heartbeat; the watchdog must abandon the incarnation and start another.
+// The wedged goroutine is released at cleanup and must exit through the
+// generation fence without touching the plant.
+func TestSupervisorRecoversWedgedLoop(t *testing.T) {
+	p := testPanel(t, 2)
+	ps, err := openPanelStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	sup := newSupervisor(p, ps)
+	sup.Interval = time.Millisecond
+	sup.Patience = 50 * time.Millisecond
+	release := make(chan struct{})
+	defer close(release)
+	var wedged atomic.Bool
+	sup.onTick = func(elapsed time.Duration) {
+		if elapsed >= 5*time.Millisecond && wedged.CompareAndSwap(false, true) {
+			<-release // simulate a hook stuck on dead I/O
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sup.Run(ctx)
+
+	waitFor(t, 5*time.Second, func() bool { return sup.Restarts() >= 1 })
+	after := sup.Elapsed()
+	waitFor(t, 5*time.Second, func() bool { return sup.Elapsed() > after+10*time.Millisecond })
+}
+
+// TestSupervisorResyncReappliesRelays: if a dying incarnation left the
+// fabric disagreeing with the journaled coil intent, resync re-drives it
+// and counts the repair.
+func TestSupervisorResyncReappliesRelays(t *testing.T) {
+	p := testPanel(t, 3)
+	ps, err := openPanelStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	// The crash scenario: the coordination node wrote the charge coil over
+	// Modbus, but the loop died before the PLC scan actuated it — the
+	// committed image holds the intent (coil set) with the fabric still
+	// open. Restore alone cannot fix that; the post-restore scan must.
+	if err := p.controller.Regs.WriteCoil(plc.CoilCharge(0), true); err != nil {
+		t.Fatal(err)
+	}
+	ps.commit(p, 10*time.Second)
+
+	sup := newSupervisor(p, ps)
+	fixed := sup.resync()
+	if fixed != 1 {
+		t.Fatalf("resync re-drove %d pairs, want 1", fixed)
+	}
+	if sup.Reapplied() != 1 {
+		t.Fatalf("Reapplied = %d, want 1", sup.Reapplied())
+	}
+	if p.fabric.Pair(0).Mode() != relay.Charging {
+		t.Fatalf("fabric mode after resync = %v, want charging", p.fabric.Pair(0).Mode())
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

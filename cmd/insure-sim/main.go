@@ -17,12 +17,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"insure/internal/baseline"
 	"insure/internal/core"
 	"insure/internal/faults"
+	"insure/internal/journal"
 	"insure/internal/sim"
 	"insure/internal/solar"
 	"insure/internal/telemetry"
@@ -51,6 +54,9 @@ func main() {
 	faultSpec := flag.String("faults", "", "inject faults: comma-separated kind[:unit]@time[:magnitude] events, e.g. bat:2@12h30m:0.6,relay-open:4@13h (kinds: stick, drift, relay-open, relay-weld, bat)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve live /metrics and /healthz on this address during the run (single-policy runs only)")
 	dumpTelemetry := flag.String("dump-telemetry", "", "write the end-of-run telemetry snapshot JSON to this path")
+	stateDir := flag.String("state-dir", "", "journal the control-plane state to this directory (insure policy only); enables crash recovery")
+	killSpec := flag.String("kill-at", "", "comma-separated sim times (e.g. 12h,15h30m) at which to hard-kill the controller and recover it from -state-dir")
+	tornKill := flag.Bool("torn-kill", false, "tear the journal tail at each -kill-at point, simulating a crash mid-commit")
 	flag.Parse()
 
 	faultPlan, ferr := faults.Parse(*faultSpec)
@@ -59,6 +65,16 @@ func main() {
 	}
 	if *telemetryAddr != "" && *compare {
 		log.Fatal("-telemetry-addr serves one registry; use it without -compare")
+	}
+	kills, kerr := parseKills(*killSpec)
+	if kerr != nil {
+		log.Fatal(kerr)
+	}
+	if len(kills) > 0 && *stateDir == "" {
+		log.Fatal("-kill-at requires -state-dir: recovery needs the journal")
+	}
+	if *stateDir != "" && (*compare || *policy != "insure") {
+		log.Fatal("-state-dir journals the insure control plane; use -policy insure without -compare")
 	}
 
 	cond := solar.Sunny
@@ -170,14 +186,9 @@ func main() {
 			if *compare {
 				path = name + "-" + path
 			}
-			f, err := os.Create(path)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := sys.Log.WriteText(f); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
+			// Durable write: the log is the forensic record, so it is
+			// fsynced before close and close errors are fatal.
+			if err := sys.Log.WriteTextFile(path); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -214,7 +225,12 @@ func main() {
 			defer stop()
 			fmt.Printf("telemetry on http://%s/metrics and /healthz\n", taddr)
 		}
-		res := s.Run(m)
+		var res sim.Result
+		if *stateDir != "" {
+			res, m = runJournaled(s, m.(*core.Manager), reg, kills, *stateDir, *tornKill)
+		} else {
+			res = s.Run(m)
+		}
 		dump(name, sys, reg)
 		return res, m
 	}
@@ -266,6 +282,78 @@ func main() {
 		return
 	}
 	report(run(*policy))
+}
+
+// parseKills parses the -kill-at list into sorted sim times.
+func parseKills(spec string) ([]time.Duration, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []time.Duration
+	for _, part := range strings.Split(spec, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-kill-at %q: %w", part, err)
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// runJournaled runs the day with the crash-safe control plane: every
+// control pass commits to the state journal in dir, and at each kill point
+// the controller is hard-stopped and rebuilt purely from disk — the plant
+// keeps its physical state, recovery reconciles the restored relay intent
+// against it, and the run continues. It returns the result and the final
+// (possibly recovered) manager so the report can read its fault events.
+func runJournaled(sys *sim.System, mgr *core.Manager, reg *telemetry.Registry, kills []time.Duration, dir string, torn bool) (sim.Result, sim.Manager) {
+	store, err := journal.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jm := core.NewJournaled(mgr, store)
+	start, end := sys.Span()
+	step := sys.Config().Step
+	next := 0
+	for tod := start; tod < end; tod += step {
+		if next < len(kills) && tod >= kills[next] {
+			// Hard stop: only the journal survives the controller.
+			if err := store.Close(); err != nil {
+				log.Fatal(err)
+			}
+			if torn {
+				if err := journal.TruncateTail(dir, 40); err != nil {
+					log.Fatal(err)
+				}
+			}
+			m2, store2, err := core.Recover(core.DefaultConfig(), sys.Bank.Size(), dir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if reg != nil {
+				m2.AttachTelemetry(reg)
+			}
+			fixed := m2.Reconcile(sys, tod)
+			fmt.Printf("controller killed at %v: recovered from journal (recovery #%d), %d relay pairs reconciled\n",
+				kills[next], m2.Recoveries(), fixed)
+			store = store2
+			jm = core.NewJournaled(m2, store)
+			next++
+		}
+		sys.Tick(tod, jm)
+	}
+	res := sys.Finish(jm)
+	if err := jm.Err(); err != nil {
+		log.Printf("warning: journal commit error during run: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		log.Printf("warning: journal close: %v", err)
+	}
+	if jm.Recoveries() > 0 {
+		fmt.Printf("recoveries %d, reconciliations %d\n", jm.Recoveries(), jm.Reconciliations())
+	}
+	return res, jm
 }
 
 func writeFrames(path string, sys *sim.System) error {

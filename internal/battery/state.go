@@ -1,0 +1,124 @@
+package battery
+
+import (
+	"fmt"
+
+	"insure/internal/journal"
+	"insure/internal/units"
+)
+
+// unitStateVersion guards the binary layout of a serialized Unit.
+const unitStateVersion = 1
+
+// UnitState is the complete mutable state of one battery unit — the KiBaM
+// wells, the last observed current, and the lifetime coulomb counters. It
+// deliberately excludes Params: configuration is reconstructed by the
+// caller, not persisted, so a config change cannot be masked by stale
+// state on disk.
+type UnitState struct {
+	AvailAh    float64 // available well, amp-hours
+	BoundAh    float64 // bound well, amp-hours
+	LastI      units.Amp
+	Throughput units.AmpHour
+	RawOut     units.AmpHour
+	RawIn      units.AmpHour
+	Cycles     float64
+	FaultLoss  float64
+}
+
+// State captures the unit's full mutable state.
+func (u *Unit) State() UnitState {
+	return UnitState{
+		AvailAh:    u.avail,
+		BoundAh:    u.bound,
+		LastI:      u.lastI,
+		Throughput: u.throughput,
+		RawOut:     u.rawOut,
+		RawIn:      u.rawIn,
+		Cycles:     u.cycles,
+		FaultLoss:  u.faultLoss,
+	}
+}
+
+// Restore overwrites the unit's mutable state. Params are untouched.
+func (u *Unit) Restore(st UnitState) {
+	u.avail = st.AvailAh
+	u.bound = st.BoundAh
+	u.lastI = st.LastI
+	u.throughput = st.Throughput
+	u.rawOut = st.RawOut
+	u.rawIn = st.RawIn
+	u.cycles = st.Cycles
+	u.faultLoss = st.FaultLoss
+}
+
+// AppendTo serializes the state bit-exactly into e.
+func (st UnitState) AppendTo(e *journal.Encoder) {
+	e.U8(unitStateVersion)
+	e.F64(st.AvailAh)
+	e.F64(st.BoundAh)
+	e.F64(float64(st.LastI))
+	e.F64(float64(st.Throughput))
+	e.F64(float64(st.RawOut))
+	e.F64(float64(st.RawIn))
+	e.F64(st.Cycles)
+	e.F64(st.FaultLoss)
+}
+
+// ReadUnitState decodes one UnitState written by AppendTo.
+func ReadUnitState(d *journal.Decoder) UnitState {
+	d.ExpectVersion(unitStateVersion)
+	return UnitState{
+		AvailAh:    d.F64(),
+		BoundAh:    d.F64(),
+		LastI:      units.Amp(d.F64()),
+		Throughput: units.AmpHour(d.F64()),
+		RawOut:     units.AmpHour(d.F64()),
+		RawIn:      units.AmpHour(d.F64()),
+		Cycles:     d.F64(),
+		FaultLoss:  d.F64(),
+	}
+}
+
+// State captures the full mutable state of every unit in the bank.
+func (b *Bank) State() []UnitState {
+	out := make([]UnitState, len(b.units))
+	for i, u := range b.units {
+		out[i] = u.State()
+	}
+	return out
+}
+
+// Restore overwrites every unit's state. The bank size must match.
+func (b *Bank) Restore(st []UnitState) error {
+	if len(st) != len(b.units) {
+		return fmt.Errorf("battery: restoring %d unit states into bank of %d", len(st), len(b.units))
+	}
+	for i, u := range b.units {
+		u.Restore(st[i])
+	}
+	return nil
+}
+
+// AppendState serializes the whole bank into e.
+func (b *Bank) AppendState(e *journal.Encoder) {
+	e.Int(len(b.units))
+	for _, u := range b.units {
+		u.State().AppendTo(e)
+	}
+}
+
+// RestoreState decodes a bank serialized by AppendState into b.
+func (b *Bank) RestoreState(d *journal.Decoder) error {
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(b.units) {
+		return fmt.Errorf("battery: restoring %d unit states into bank of %d", n, len(b.units))
+	}
+	for _, u := range b.units {
+		u.Restore(ReadUnitState(d))
+	}
+	return d.Err()
+}

@@ -1,0 +1,349 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"insure/internal/core"
+	"insure/internal/faults"
+	"insure/internal/journal"
+	"insure/internal/sim"
+	"insure/internal/telemetry"
+	"insure/internal/trace"
+)
+
+// tornTailBytes is how much of the journal tail a KillTorn event chops
+// off — enough to corrupt the final record the way a mid-write power cut
+// does, small enough to never reach past one record into committed state.
+const tornTailBytes = 40
+
+// maxViolationDetail caps how many violations keep their full text; the
+// count is always exact.
+const maxViolationDetail = 16
+
+// Report is the outcome of one campaign.
+type Report struct {
+	Seed   int64
+	Events int
+
+	// Event counts by kind, as planned.
+	Kills, TornKills, Partitions, SensorFaults, HardwareFaults int
+
+	// Recoveries the control state has accumulated (persisted across
+	// incarnations, so this equals the kill count when recovery works)
+	// and relay pairs reconciliation re-drove.
+	Recoveries      int
+	Reconciliations int
+
+	// Invariant violations observed on the chaos day.
+	ViolationCount int
+	Violations     []string
+
+	// Chaos-day vs reference-day outcomes.
+	Brownouts, RefBrownouts       int
+	EndSoC, RefEndSoC             float64
+	UptimeFrac, RefUptimeFrac     float64
+	TrajectoryHash, RefTrajectory uint64
+
+	// Converged reports whether the chaos day ended within the
+	// convergence band of the reference day with no extra brownouts.
+	Converged bool
+}
+
+func (r *Report) violate(format string, args ...any) {
+	r.ViolationCount++
+	if len(r.Violations) < maxViolationDetail {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// String is the one-line summary a failing test prints with the seed.
+func (r *Report) String() string {
+	return fmt.Sprintf("seed %d: %d events (%d kills, %d torn, %d partitions, %d sensor, %d hardware), %d recoveries, %d reconciled, %d violations, brownouts %d/%d ref, SoC %.4f/%.4f ref, converged %v",
+		r.Seed, r.Events, r.Kills, r.TornKills, r.Partitions, r.SensorFaults, r.HardwareFaults,
+		r.Recoveries, r.Reconciliations, r.ViolationCount, r.Brownouts, r.RefBrownouts,
+		r.EndSoC, r.RefEndSoC, r.Converged)
+}
+
+// newWorld assembles one prototype plant and its manager.
+func newWorld(cfg Config) (*sim.System, *core.Manager, error) {
+	scfg := sim.DefaultConfig(trace.FullSystemHigh())
+	scfg.BatteryCount = cfg.Batteries
+	scfg.ServerCount = cfg.Servers
+	scfg.RecordEvery = time.Minute
+	sys, err := sim.New(scfg, sim.NewSeismicSink())
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, core.New(core.DefaultConfig(), cfg.Batteries), nil
+}
+
+// driveReference runs the uninterrupted twin: same plant, same hardware
+// fault plan, no kills, no partitions. Returns the run result and the
+// times brownouts began.
+func driveReference(sys *sim.System, mgr *core.Manager, plan faults.Plan) (sim.Result, []time.Duration) {
+	inj := faults.NewInjector(plan, faults.Target{
+		Bank: sys.Bank, Fabric: sys.Fabric, Probes: sys.Probes,
+	})
+	var brownTicks []time.Duration
+	seen := 0
+	sys.SetTickHook(func(tod time.Duration) {
+		inj.Tick(tod)
+		if b := sys.Brownouts(); b > seen {
+			seen = b
+			brownTicks = append(brownTicks, tod)
+		}
+	})
+	start, end := sys.Span()
+	step := time.Second
+	for tod := start; tod < end; tod += step {
+		sys.Tick(tod, mgr)
+	}
+	return sys.Finish(mgr), brownTicks
+}
+
+// Run executes the campaign described by cfg and reports the outcome.
+// The only error returns are harness failures (bad config, journal I/O,
+// fieldbus setup); invariant breaks are reported, not errored, so a test
+// can print the full report with its seed.
+func Run(cfg Config) (*Report, error) {
+	if cfg.StateDir == "" {
+		return nil, fmt.Errorf("chaos: StateDir is required")
+	}
+	plan, err := Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Seed: cfg.Seed, Events: len(plan)}
+	for _, e := range plan {
+		switch e.Kind {
+		case KillClean:
+			rep.Kills++
+		case KillTorn:
+			rep.TornKills++
+		case Partition:
+			rep.Partitions++
+		case SensorFault:
+			rep.SensorFaults++
+		case HardwareFault:
+			rep.HardwareFaults++
+		}
+	}
+	faultPlan := faultPlanOf(plan)
+
+	// Reference day: hardware faults only.
+	refSys, refMgr, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	refRes, refBrown := driveReference(refSys, refMgr, faultPlan)
+
+	// Chaos day.
+	sys, mgr, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	reg := telemetry.NewRegistry()
+	mgr.AttachTelemetry(reg)
+	store, err := journal.Open(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { store.Close() }()
+	jm := core.NewJournaled(mgr, store)
+	// Append-only journaling: every record stays a delta on the tail, so a
+	// KillTorn always has a freshly-written record to tear, never a
+	// just-rotated empty file.
+	jm.SnapshotEvery = 0
+
+	var proxy *faults.FlakyProxy
+	if cfg.Remote {
+		addr, stopServer, err := sys.ServePanel()
+		if err != nil {
+			return nil, err
+		}
+		defer stopServer()
+		proxy, err = faults.NewFlakyProxy(addr)
+		if err != nil {
+			return nil, err
+		}
+		defer proxy.Close()
+		cli, stopClient, err := sys.ConnectRemote(proxy.Addr())
+		if err != nil {
+			return nil, err
+		}
+		defer stopClient()
+		// Partitions fail fast (connection resets, not silent drops), so
+		// an aggressive timeout/retry policy keeps the campaign at full
+		// speed without changing any plant value: the fieldbus fallback
+		// path reads and writes the same registers the client would.
+		cli.Timeout = 250 * time.Millisecond
+		cli.MaxRetries = 1
+		cli.RetryBackoff = time.Millisecond
+	}
+
+	inj := faults.NewInjector(faultPlan, faults.Target{
+		Bank: sys.Bank, Fabric: sys.Fabric, Probes: sys.Probes,
+	})
+	var brownTicks []time.Duration
+	seenBrown := 0
+	sys.SetTickHook(func(tod time.Duration) {
+		inj.Tick(tod)
+		if b := sys.Brownouts(); b > seenBrown {
+			seenBrown = b
+			brownTicks = append(brownTicks, tod)
+		}
+		checkInvariants(rep, sys, tod)
+	})
+
+	period := mgr.Period()
+	var killTimes []time.Duration
+	healAt := time.Duration(-1)
+	next := 0
+	start, end := sys.Span()
+	step := time.Second
+	for tod := start; tod < end; tod += step {
+		if healAt >= 0 && tod >= healAt {
+			proxy.SetPartition(false)
+			healAt = -1
+		}
+		for next < len(plan) && plan[next].At <= tod {
+			e := plan[next]
+			next++
+			switch e.Kind {
+			case Partition:
+				if proxy != nil {
+					proxy.SetPartition(true)
+					if h := e.At + e.Dur; h > healAt {
+						healAt = h
+					}
+				}
+			case KillClean, KillTorn:
+				// The controller process dies: only the journal survives.
+				// The plant (sys) is physical and keeps running.
+				if err := store.Close(); err != nil {
+					return nil, err
+				}
+				if e.Kind == KillTorn {
+					if err := journal.TruncateTail(cfg.StateDir, tornTailBytes); err != nil {
+						return nil, err
+					}
+				}
+				mgr, store, err = core.Recover(core.DefaultConfig(), cfg.Batteries, cfg.StateDir)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: recovery after %v at %v: %w", e.Kind, tod, err)
+				}
+				mgr.AttachTelemetry(reg)
+				mgr.Reconcile(sys, tod)
+				jm = core.NewJournaled(mgr, store)
+				jm.SnapshotEvery = 0
+				killTimes = append(killTimes, tod)
+			}
+		}
+		sys.Tick(tod, jm)
+	}
+	if err := jm.Err(); err != nil {
+		return nil, fmt.Errorf("chaos: journal commit: %w", err)
+	}
+	res := sys.Finish(jm)
+
+	rep.Recoveries = mgr.Recoveries()
+	rep.Reconciliations = mgr.Reconciliations()
+	rep.Brownouts = res.Brownouts
+	rep.RefBrownouts = refRes.Brownouts
+	rep.EndSoC = sys.Bank.MeanSoC()
+	rep.RefEndSoC = refSys.Bank.MeanSoC()
+	rep.UptimeFrac = res.UptimeFrac
+	rep.RefUptimeFrac = refRes.UptimeFrac
+	rep.TrajectoryHash = hashFrames(sys.Recorder().Frames())
+	rep.RefTrajectory = hashFrames(refSys.Recorder().Frames())
+
+	// No recovery-induced brownouts: a brownout inside a recovery window
+	// must have a counterpart in the reference day — the plant was going
+	// down anyway; recovery did not push it over.
+	for _, t := range brownTicks {
+		if !inRecoveryWindow(t, killTimes, period) {
+			continue
+		}
+		if !nearAny(t, refBrown, 2*period) {
+			rep.violate("brownout at %v inside a recovery window with no reference counterpart", t)
+		}
+	}
+	rep.Converged = rep.Brownouts <= rep.RefBrownouts &&
+		math.Abs(rep.EndSoC-rep.RefEndSoC) <= 0.03 &&
+		math.Abs(rep.UptimeFrac-rep.RefUptimeFrac) <= 0.02
+	return rep, nil
+}
+
+// checkInvariants asserts the per-tick safety properties of the chaos day.
+func checkInvariants(rep *Report, sys *sim.System, tod time.Duration) {
+	f := sys.Fabric
+	for i := 0; i < f.Size(); i++ {
+		p := f.Pair(i)
+		if p.Charge.Closed() && p.Discharge.Closed() {
+			rep.violate("unit %d: charge and discharge contacts both closed at %v", i, tod)
+		}
+	}
+	if f.P2.Closed() && (f.P1.Closed() || f.P3.Closed()) {
+		rep.violate("series switch P2 closed alongside a parallel switch at %v", tod)
+	}
+	const eps = 1e-9
+	for i := 0; i < sys.Bank.Size(); i++ {
+		if soc := sys.Bank.Unit(i).SoC(); soc < -eps || soc > 1+eps {
+			rep.violate("unit %d: SoC %v out of bounds at %v", i, soc, tod)
+		}
+	}
+}
+
+// inRecoveryWindow reports whether t falls within two control periods
+// after any kill.
+func inRecoveryWindow(t time.Duration, kills []time.Duration, period time.Duration) bool {
+	for _, k := range kills {
+		if t >= k && t <= k+2*period {
+			return true
+		}
+	}
+	return false
+}
+
+// nearAny reports whether t is within tol of any value in set.
+func nearAny(t time.Duration, set []time.Duration, tol time.Duration) bool {
+	for _, s := range set {
+		d := t - s
+		if d < 0 {
+			d = -d
+		}
+		if d <= tol {
+			return true
+		}
+	}
+	return false
+}
+
+// hashFrames folds a recorded trajectory into an FNV-1a digest: tick time,
+// stored energy, running VMs, and every unit's SoC and relay mode. Two
+// campaigns agree on this hash only if the plant moved identically.
+func hashFrames(frames []sim.Frame) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	for _, f := range frames {
+		mix(uint64(f.At))
+		mix(math.Float64bits(float64(f.StoredWh)))
+		mix(uint64(f.RunningVM))
+		for i := range f.SoCs {
+			mix(math.Float64bits(f.SoCs[i]))
+			mix(uint64(f.Modes[i]))
+		}
+	}
+	return h
+}

@@ -160,6 +160,11 @@ type Manager struct {
 	screenings  int
 	capEvents   int
 	boostEvents int
+	// recovery accounting (persist.go): recoveries counts crash-restarts
+	// this control state has survived, reconciliations counts restored
+	// relay intents that disagreed with the live plant and were re-driven.
+	recoveries      int
+	reconciliations int
 
 	// watch is the fault-detection state (faultwatch.go): quarantine flags,
 	// per-unit screen counters, and the quarantine event log.

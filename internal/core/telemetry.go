@@ -11,10 +11,12 @@ import (
 // results; the telemetry counters are the concurrency-safe copies a
 // /metrics scrape may read while a control pass is mid-flight.
 type managerTelemetry struct {
-	screenings  *telemetry.Counter
-	capEvents   *telemetry.Counter
-	boostEvents *telemetry.Counter
-	quarantines *telemetry.Counter
+	screenings      *telemetry.Counter
+	capEvents       *telemetry.Counter
+	boostEvents     *telemetry.Counter
+	quarantines     *telemetry.Counter
+	recoveries      *telemetry.Counter
+	reconciliations *telemetry.Counter
 }
 
 // AttachTelemetry registers the manager's counters on reg and installs a
@@ -30,6 +32,10 @@ func (m *Manager) AttachTelemetry(reg *telemetry.Registry) {
 			"Units admitted through the relaxed on-demand boost threshold."),
 		quarantines: reg.Counter("insure_faultwatch_quarantines_total",
 			"Battery units permanently removed from rotation by fault detection."),
+		recoveries: reg.Counter("insure_recoveries_total",
+			"Control-plane crash recoveries completed from the state journal."),
+		reconciliations: reg.Counter("insure_recovery_reconciliations_total",
+			"Relay pairs re-driven after recovery because restored intent disagreed with the live plant."),
 	}
 	m.tel = t
 	// The health check reads only the atomic counter, so it is safe from

@@ -15,12 +15,13 @@ type FlakyProxy struct {
 	backend string
 	l       net.Listener
 
-	mu      sync.Mutex
-	conns   map[net.Conn]struct{}
-	delay   time.Duration
-	dropped int
-	closed  bool
-	wg      sync.WaitGroup
+	mu          sync.Mutex
+	conns       map[net.Conn]struct{}
+	delay       time.Duration
+	dropped     int
+	partitioned bool
+	closed      bool
+	wg          sync.WaitGroup
 }
 
 // NewFlakyProxy listens on loopback and forwards to backend.
@@ -56,6 +57,31 @@ func (p *FlakyProxy) DropAll() {
 	p.mu.Unlock()
 }
 
+// SetPartition simulates a fieldbus partition. While on, every live
+// session is severed and new connections are closed at accept, so the
+// client sees resets immediately instead of hanging on timeouts — the
+// recovery path is exercised at full speed and no delayed bytes can leak
+// across the partition after it heals. Turning it off restores forwarding
+// for connections dialed afterwards.
+func (p *FlakyProxy) SetPartition(on bool) {
+	p.mu.Lock()
+	p.partitioned = on
+	if on {
+		for c := range p.conns {
+			c.Close()
+		}
+		p.dropped += len(p.conns)
+	}
+	p.mu.Unlock()
+}
+
+// Partitioned reports whether the proxy is currently partitioned.
+func (p *FlakyProxy) Partitioned() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.partitioned
+}
+
 // Dropped returns how many connections DropAll has severed.
 func (p *FlakyProxy) Dropped() int {
 	p.mu.Lock()
@@ -85,6 +111,13 @@ func (p *FlakyProxy) acceptLoop() {
 		conn, err := p.l.Accept()
 		if err != nil {
 			return
+		}
+		p.mu.Lock()
+		part := p.partitioned
+		p.mu.Unlock()
+		if part {
+			conn.Close()
+			continue
 		}
 		up, err := net.Dial("tcp", p.backend)
 		if err != nil {

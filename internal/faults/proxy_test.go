@@ -75,3 +75,27 @@ func TestProxyDropForcesClientReconnect(t *testing.T) {
 		t.Error("client did not reconnect through the proxy")
 	}
 }
+
+func TestProxyPartitionSeversAndHeals(t *testing.T) {
+	p, c := proxyPair(t)
+	c.Timeout = 250 * time.Millisecond
+	c.MaxRetries = 1
+	if err := c.WriteCoil(2, true); err != nil {
+		t.Fatal(err)
+	}
+	p.SetPartition(true)
+	if !p.Partitioned() {
+		t.Fatal("Partitioned() = false after SetPartition(true)")
+	}
+	if _, err := c.ReadCoils(2, 1); err == nil {
+		t.Fatal("read succeeded across a partition")
+	}
+	p.SetPartition(false)
+	got, err := c.ReadCoils(2, 1)
+	if err != nil {
+		t.Fatalf("read after heal failed: %v", err)
+	}
+	if !got[0] {
+		t.Error("state lost across partition")
+	}
+}

@@ -1,0 +1,337 @@
+// Package journal is the durable-state layer of the control plane: an
+// append-only, checksummed, fsync-on-commit write-ahead journal plus
+// periodic atomic snapshots. The power manager commits its full state
+// after every control pass; after a crash — controller panic, wedged
+// loop, or a brownout that takes the coordination node down mid-relay
+// transition — recovery replays snapshot + journal and resumes from the
+// last committed pass.
+//
+// On-disk layout inside the state directory:
+//
+//	snapshot.bin   magic | version | seq | crc32 | len | payload
+//	journal.log    repeated records: len | seq | crc32 | payload
+//
+// Both files use little-endian fixed-width framing (see codec.go). The
+// snapshot is written to a temporary file, fsynced, renamed over
+// snapshot.bin, and the directory is fsynced — the snapshot is either
+// the old one or the new one, never a torn mix. After a successful
+// snapshot the journal is truncated; a crash between the rename and the
+// truncate is benign because journal records with seq <= the snapshot's
+// seq are skipped on replay.
+//
+// The journal tolerates a torn tail: replay stops at the first record
+// whose length, sequence, or checksum does not verify, and Open
+// truncates the file back to the last good record before appending. A
+// kill mid-write therefore loses at most the state of the pass being
+// committed — the recovery path reconciles that against the live plant
+// (see core.Manager.Reconcile).
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+const (
+	snapshotName = "snapshot.bin"
+	snapshotTemp = "snapshot.tmp"
+	journalName  = "journal.log"
+
+	snapshotMagic = 0x494e534a // "INSJ"
+	storeVersion  = 1
+
+	recordHeader = 4 + 8 + 4 // len | seq | crc32
+	maxRecord    = 16 << 20  // sanity bound on a single payload
+)
+
+// ErrCorruptSnapshot reports a snapshot file that exists but fails its
+// magic, version, length, or checksum — unlike a torn journal tail this
+// is not an expected crash artifact (the rename is atomic), so Load
+// surfaces it instead of silently starting from zero.
+var ErrCorruptSnapshot = errors.New("journal: corrupt snapshot")
+
+// LoadResult is everything recovery needs: the newest snapshot (if any)
+// and the journal records committed after it, oldest first.
+type LoadResult struct {
+	Snapshot    []byte // nil if no snapshot exists
+	SnapshotSeq uint64
+	Entries     [][]byte // journal payloads with seq > SnapshotSeq
+	EntrySeqs   []uint64
+	LastSeq     uint64 // highest seq seen anywhere (0 if store is empty)
+
+	journalGood int64 // byte offset of the last valid journal record's end
+}
+
+// Load reads the store without opening it for writing. A missing
+// directory or missing files yield an empty result; a torn journal tail
+// is silently dropped; a corrupt snapshot is an error.
+func Load(dir string) (*LoadResult, error) {
+	res := &LoadResult{}
+
+	snap, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+	case err != nil:
+		return nil, err
+	default:
+		payload, seq, perr := parseSnapshot(snap)
+		if perr != nil {
+			return nil, perr
+		}
+		res.Snapshot = payload
+		res.SnapshotSeq = seq
+		res.LastSeq = seq
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, journalName))
+	if errors.Is(err, os.ErrNotExist) {
+		return res, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	off := 0
+	for {
+		payload, seq, n := parseRecord(raw[off:])
+		if n == 0 {
+			break // torn or corrupt tail: stop at the last good record
+		}
+		off += n
+		if res.LastSeq < seq {
+			res.LastSeq = seq
+		}
+		if res.Snapshot != nil && seq <= res.SnapshotSeq {
+			continue // superseded by the snapshot
+		}
+		res.Entries = append(res.Entries, payload)
+		res.EntrySeqs = append(res.EntrySeqs, seq)
+	}
+	res.journalGood = int64(off)
+	return res, nil
+}
+
+// parseRecord decodes one journal record from b. It returns the payload
+// (a copy), the sequence number, and the number of bytes consumed; a
+// torn, corrupt, or absent record returns n == 0.
+func parseRecord(b []byte) (payload []byte, seq uint64, n int) {
+	if len(b) < recordHeader {
+		return nil, 0, 0
+	}
+	plen := binary.LittleEndian.Uint32(b[0:4])
+	if plen > maxRecord || recordHeader+int(plen) > len(b) {
+		return nil, 0, 0
+	}
+	seq = binary.LittleEndian.Uint64(b[4:12])
+	want := binary.LittleEndian.Uint32(b[12:16])
+	body := b[recordHeader : recordHeader+int(plen)]
+	if recordCRC(seq, body) != want {
+		return nil, 0, 0
+	}
+	return append([]byte(nil), body...), seq, recordHeader + int(plen)
+}
+
+// recordCRC checksums the sequence number together with the payload so a
+// record copied to the wrong position in the file does not verify.
+func recordCRC(seq uint64, payload []byte) uint32 {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], seq)
+	crc := crc32.ChecksumIEEE(hdr[:])
+	return crc32.Update(crc, crc32.IEEETable, payload)
+}
+
+// parseSnapshot validates and unwraps a snapshot file.
+func parseSnapshot(b []byte) (payload []byte, seq uint64, err error) {
+	const header = 4 + 1 + 8 + 4 + 4 // magic | version | seq | crc | len
+	if len(b) < header {
+		return nil, 0, ErrCorruptSnapshot
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != snapshotMagic || b[4] != storeVersion {
+		return nil, 0, ErrCorruptSnapshot
+	}
+	seq = binary.LittleEndian.Uint64(b[5:13])
+	want := binary.LittleEndian.Uint32(b[13:17])
+	plen := binary.LittleEndian.Uint32(b[17:21])
+	if plen > maxRecord || header+int(plen) != len(b) {
+		return nil, 0, ErrCorruptSnapshot
+	}
+	payload = b[header:]
+	if recordCRC(seq, payload) != want {
+		return nil, 0, ErrCorruptSnapshot
+	}
+	return payload, seq, nil
+}
+
+// Store is an open journal directory. It is not safe for concurrent use;
+// the control loop owns it.
+type Store struct {
+	dir string
+	f   *os.File
+	seq uint64
+
+	// Sync controls whether Append fsyncs after each record. On by
+	// default — commit means durable. Benchmarks and the chaos harness
+	// may disable it to trade durability for wall-clock time; the
+	// framing keeps replay correct either way.
+	Sync bool
+
+	frame []byte // reusable framing buffer so Append never allocates
+}
+
+// Open creates (or reopens) the store rooted at dir. Any torn tail left
+// by a previous crash is truncated away so new records append after the
+// last good one.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	res, err := Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	jpath := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(res.journalGood); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(res.journalGood, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Store{dir: dir, f: f, seq: res.LastSeq, Sync: true}, nil
+}
+
+// Seq returns the sequence number of the last committed record.
+func (s *Store) Seq() uint64 { return s.seq }
+
+// Append commits one state payload to the journal and (with Sync set)
+// fsyncs before returning. The payload is copied into the store's
+// framing buffer, so the caller may reuse its own buffer immediately.
+func (s *Store) Append(payload []byte) (uint64, error) {
+	if len(payload) > maxRecord {
+		return 0, fmt.Errorf("journal: payload %d bytes exceeds record limit", len(payload))
+	}
+	s.seq++
+	s.frame = s.frame[:0]
+	s.frame = binary.LittleEndian.AppendUint32(s.frame, uint32(len(payload)))
+	s.frame = binary.LittleEndian.AppendUint64(s.frame, s.seq)
+	// CRC over the seq bytes already in the (heap-held) frame buffer, so
+	// no stack array escapes into the hash call.
+	crc := crc32.ChecksumIEEE(s.frame[4:12])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	s.frame = binary.LittleEndian.AppendUint32(s.frame, crc)
+	s.frame = append(s.frame, payload...)
+	if _, err := s.f.Write(s.frame); err != nil {
+		return 0, err
+	}
+	if s.Sync {
+		if err := s.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return s.seq, nil
+}
+
+// Snapshot atomically replaces the snapshot with payload and truncates
+// the journal. The write-temp + rename + directory-fsync sequence means
+// a crash at any point leaves either the old snapshot (journal intact,
+// replay as before) or the new one (journal records now superseded by
+// seq-gating).
+func (s *Store) Snapshot(payload []byte) error {
+	s.seq++
+	tmp := filepath.Join(s.dir, snapshotTemp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [21]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], snapshotMagic)
+	hdr[4] = storeVersion
+	binary.LittleEndian.PutUint64(hdr[5:13], s.seq)
+	binary.LittleEndian.PutUint32(hdr[13:17], recordCRC(s.seq, payload))
+	binary.LittleEndian.PutUint32(hdr[17:21], uint32(len(payload)))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	// Rotate: everything in the journal is now superseded by the
+	// snapshot's seq, so reclaim the space.
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(0, 0); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Close fsyncs and closes the journal file.
+func (s *Store) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	serr := s.f.Sync()
+	cerr := s.f.Close()
+	s.f = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// TruncateTail chops n bytes off the end of the journal file — the test
+// and chaos-harness hook that manufactures a torn tail exactly the way a
+// mid-write power cut does. Chopping more bytes than the file holds
+// empties it.
+func TruncateTail(dir string, n int64) error {
+	jpath := filepath.Join(dir, journalName)
+	st, err := os.Stat(jpath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	size := st.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(jpath, size)
+}

@@ -1,0 +1,319 @@
+package journal
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	var e Encoder
+	e.U8(7)
+	e.U16(65535)
+	e.U64(1<<63 + 12345)
+	e.I64(-42)
+	e.Int(-7)
+	e.F64(3.141592653589793)
+	e.F64(math.Copysign(0, -1))
+	e.Bool(true)
+	e.Bool(false)
+	e.Dur(90 * time.Minute)
+	e.String("quarantine: ghost current")
+	e.String("")
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := d.U16(); got != 65535 {
+		t.Errorf("U16 = %d", got)
+	}
+	if got := d.U64(); got != 1<<63+12345 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.Int(); got != -7 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.F64(); got != 3.141592653589793 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.U64(); got != 1<<63 { // -0.0 must round-trip bit-exactly
+		t.Errorf("-0.0 bits = %x", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if got := d.Dur(); got != 90*time.Minute {
+		t.Errorf("Dur = %v", got)
+	}
+	if got := d.String(); got != "quarantine: ghost current" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("%d bytes left over", d.Remaining())
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	_ = d.U64() // too short
+	if d.Err() == nil {
+		t.Fatal("want error on short read")
+	}
+	if got := d.F64(); got != 0 {
+		t.Errorf("read after error = %v, want 0", got)
+	}
+}
+
+func TestEncoderAppendDoesNotAllocateAfterWarmup(t *testing.T) {
+	var e Encoder
+	fill := func() {
+		e.Reset()
+		for i := 0; i < 64; i++ {
+			e.F64(float64(i) * 1.5)
+			e.Bool(i%2 == 0)
+			e.Int(i)
+		}
+	}
+	fill() // warm the buffer to steady-state capacity
+	allocs := testing.AllocsPerRun(100, fill)
+	if allocs != 0 {
+		t.Errorf("encoder reuse allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestStoreAppendLoad(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append([]byte{byte(i), byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot != nil {
+		t.Error("unexpected snapshot")
+	}
+	if len(res.Entries) != 5 {
+		t.Fatalf("entries = %d, want 5", len(res.Entries))
+	}
+	for i, e := range res.Entries {
+		if !bytes.Equal(e, []byte{byte(i), byte(i + 1)}) {
+			t.Errorf("entry %d = %v", i, e)
+		}
+		if res.EntrySeqs[i] != uint64(i+1) {
+			t.Errorf("seq %d = %d", i, res.EntrySeqs[i])
+		}
+	}
+	if res.LastSeq != 5 {
+		t.Errorf("LastSeq = %d", res.LastSeq)
+	}
+}
+
+func TestStoreSnapshotGatesJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("old-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot([]byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("new-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Snapshot) != "snap" {
+		t.Errorf("snapshot = %q", res.Snapshot)
+	}
+	if len(res.Entries) != 1 || string(res.Entries[0]) != "new-1" {
+		t.Errorf("entries = %q, want [new-1]", res.Entries)
+	}
+
+	// Crash between snapshot rename and journal truncate: simulate by
+	// re-appending a record with a stale seq — covered structurally by
+	// seq-gating, asserted here via the snapshot seq ordering.
+	if res.EntrySeqs[0] <= res.SnapshotSeq {
+		t.Error("journal entry not sequenced after snapshot")
+	}
+}
+
+func TestStoreTornTailIsDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("good-record")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("torn-record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateTail(dir, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 || string(res.Entries[0]) != "good-record" {
+		t.Fatalf("entries after torn tail = %q, want [good-record]", res.Entries)
+	}
+
+	// Reopen must truncate the torn bytes and continue the seq chain.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := s2.Append([]byte("after-crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The torn record's seq is reused: its bytes were truncated away, so
+	// the on-disk chain stays gapless.
+	if seq != 2 {
+		t.Errorf("post-crash seq = %d, want 2", seq)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 2 || string(res.Entries[1]) != "after-crash" {
+		t.Fatalf("entries after reopen = %q", res.Entries)
+	}
+}
+
+func TestStoreCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Append([]byte{0xAA, byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte in the middle record: it and everything after
+	// must be dropped (a corrupt middle means the tail is untrustworthy).
+	jpath := filepath.Join(dir, journalName)
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := recordHeader + 2
+	raw[rec+recordHeader] ^= 0xFF
+	if err := os.WriteFile(jpath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1 (replay stops at corruption)", len(res.Entries))
+	}
+}
+
+func TestStoreCorruptSnapshotIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot([]byte("snapshot-payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spath := filepath.Join(dir, snapshotName)
+	raw, err := os.ReadFile(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(spath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("want error loading corrupt snapshot")
+	}
+}
+
+func TestStoreEmptyDirectory(t *testing.T) {
+	res, err := Load(filepath.Join(t.TempDir(), "never-created"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot != nil || len(res.Entries) != 0 || res.LastSeq != 0 {
+		t.Errorf("empty load = %+v", res)
+	}
+}
+
+func TestStoreAppendDoesNotAllocate(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Sync = false // measure the framing path, not the kernel
+	payload := make([]byte, 256)
+	if _, err := s.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Append allocates %.1f/op, want 0", allocs)
+	}
+}

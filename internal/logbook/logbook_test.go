@@ -3,6 +3,8 @@ package logbook
 import (
 	"bytes"
 	"encoding/csv"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -184,5 +186,36 @@ func TestClassString(t *testing.T) {
 	}
 	if Class(9).String() == "" {
 		t.Error("unknown class should format")
+	}
+}
+
+func TestWriteFilesAreDurable(t *testing.T) {
+	b := New(0)
+	b.Add(time.Hour, Power, "battery#1", "open -> discharging")
+	b.Add(2*time.Hour, Emergency, "faultwatch", "unit 3 quarantined")
+
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "log.txt")
+	csvPath := filepath.Join(dir, "log.csv")
+	if err := b.WriteTextFile(txt); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCSVFile(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{txt, csvPath} {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(raw), "quarantined") {
+			t.Errorf("%s missing event content", p)
+		}
+	}
+
+	// The write path must propagate errors instead of swallowing them:
+	// writing into a missing directory fails loudly.
+	if err := b.WriteCSVFile(filepath.Join(dir, "no-such-dir", "log.csv")); err == nil {
+		t.Error("want error writing into missing directory")
 	}
 }

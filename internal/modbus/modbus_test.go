@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"insure/internal/plc"
+	"insure/internal/telemetry"
 )
 
 func TestADURoundTrip(t *testing.T) {
@@ -500,5 +501,78 @@ func TestReadWriteMultipleRegisters(t *testing.T) {
 	}
 	if _, err := c.ReadWriteRegisters(0, 1, 0, nil); err == nil {
 		t.Error("empty write accepted")
+	}
+}
+
+// TestServerReapsHalfOpenSessions proves a client that connects and then
+// goes silent (a half-open/partitioned peer) cannot pin a session goroutine
+// forever: the server reaps it after SessionTimeout and counts the reap.
+func TestServerReapsHalfOpenSessions(t *testing.T) {
+	regs := plc.NewRegisterFile(8, 8, 8, 8)
+	srv := NewServer(regs)
+	srv.SessionTimeout = 50 * time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Raw TCP connection that never sends a single byte: exactly what a
+	// partitioned peer looks like to the server.
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.SessionsReaped() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session never reaped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.SessionsReaped(); got != 1 {
+		t.Fatalf("SessionsReaped = %d, want 1", got)
+	}
+
+	// The reaped session's connection is closed from the server side.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("expected server to close the reaped connection")
+	}
+
+	// A live client on the same server is unaffected by the reaping and
+	// can keep a session open past the idle timeout by staying active.
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		if err := c.WriteCoil(1, i%2 == 0); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := srv.SessionsReaped(); got != 1 {
+		t.Fatalf("active session was reaped: SessionsReaped = %d", got)
+	}
+}
+
+// TestServerReapedCounterTelemetry wires the server counter into a registry
+// and checks the documented instrument name is present.
+func TestServerReapedCounterTelemetry(t *testing.T) {
+	regs := plc.NewRegisterFile(8, 8, 8, 8)
+	srv := NewServer(regs)
+	reg := telemetry.NewRegistry()
+	srv.RegisterTelemetry(reg)
+	snap := reg.Snapshot()
+	v, ok := snap.Gauges["modbus_server_sessions_reaped"]
+	if !ok {
+		t.Fatal("modbus_server_sessions_reaped not registered")
+	}
+	if v != 0 {
+		t.Fatalf("fresh server reaped gauge = %v, want 0", v)
 	}
 }

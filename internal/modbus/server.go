@@ -8,9 +8,17 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"insure/internal/plc"
 )
+
+// DefaultSessionTimeout bounds how long a session may sit idle before the
+// server reaps it. A partitioned or half-open client (its TCP endpoint is
+// gone but no FIN/RST ever arrived) would otherwise pin a handler
+// goroutine — and its session slot — forever.
+const DefaultSessionTimeout = 2 * time.Minute
 
 // Server serves a PLC register file over Modbus TCP. It is the control
 // panel of the prototype (§4): the bridge between the battery system's PLC
@@ -24,14 +32,29 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup // in-flight connection handlers
 
+	reaped atomic.Int64 // sessions dropped for idling past SessionTimeout
+
+	// SessionTimeout is the per-session idle limit: if no request arrives
+	// within it, the session is reaped. Zero disables reaping (sessions
+	// may then outlive half-open peers indefinitely). Set before Listen.
+	SessionTimeout time.Duration
+
 	// Logf, when set, receives per-connection error diagnostics.
 	Logf func(format string, args ...any)
 }
 
 // NewServer wraps the given register file.
 func NewServer(regs *plc.RegisterFile) *Server {
-	return &Server{regs: regs, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		regs:           regs,
+		conns:          make(map[net.Conn]struct{}),
+		SessionTimeout: DefaultSessionTimeout,
+	}
 }
+
+// SessionsReaped reports how many sessions were dropped because the peer
+// went silent past SessionTimeout.
+func (s *Server) SessionsReaped() int64 { return s.reaped.Load() }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and serves until Close. It returns
 // the bound address for clients to dial.
@@ -75,9 +98,22 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 	for {
+		if s.SessionTimeout > 0 {
+			// Refresh the idle deadline per request: a healthy client can
+			// hold a session open forever, a half-open one cannot.
+			conn.SetReadDeadline(time.Now().Add(s.SessionTimeout))
+		}
 		req, err := ReadADU(conn)
 		if err != nil {
+			var nerr net.Error
 			switch {
+			case errors.As(err, &nerr) && nerr.Timeout():
+				// Half-open or partitioned peer: reap the session so the
+				// handler goroutine is reclaimed.
+				s.reaped.Add(1)
+				if s.Logf != nil {
+					s.Logf("modbus server: session idle past %v, reaped", s.SessionTimeout)
+				}
 			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
 				// Orderly disconnect (or our own Close); nothing to report.
 			case errors.Is(err, io.ErrUnexpectedEOF):

@@ -17,3 +17,10 @@ func (c *Client) RegisterTelemetry(reg *telemetry.Registry) {
 		"Times the client redialled the panel.",
 		func() float64 { return float64(c.Reconnects()) })
 }
+
+// RegisterTelemetry exposes the server's session health on reg.
+func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
+	reg.FuncGauge("modbus_server_sessions_reaped",
+		"Sessions dropped because the peer went silent past the idle timeout.",
+		func() float64 { return float64(s.SessionsReaped()) })
+}

@@ -195,7 +195,12 @@ func (m Mode) String() string {
 }
 
 // SetMode drives both relays to realise the requested mode, opening before
-// closing so the interlock holds even mid-transition.
+// closing so the interlock holds even mid-transition. If the opposite
+// contact is welded closed and refuses to open, the commanded side is NOT
+// closed: a unit bridging the charge and discharge buses would backfeed
+// the PV string, which is the one topology the interlock exists to
+// prevent. The pair stays in the welded relay's mode until the fault
+// watcher quarantines it.
 func (p *Pair) SetMode(m Mode) {
 	switch m {
 	case Open:
@@ -203,9 +208,15 @@ func (p *Pair) SetMode(m Mode) {
 		p.Discharge.Set(false)
 	case Charging:
 		p.Discharge.Set(false)
+		if p.Discharge.Closed() {
+			return // welded: refuse to double-connect
+		}
 		p.Charge.Set(true)
 	case Discharging:
 		p.Charge.Set(false)
+		if p.Charge.Closed() {
+			return // welded: refuse to double-connect
+		}
 		p.Discharge.Set(true)
 	}
 }

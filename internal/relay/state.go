@@ -1,0 +1,152 @@
+package relay
+
+import (
+	"fmt"
+	"time"
+
+	"insure/internal/journal"
+)
+
+// relayStateVersion guards the binary layout of a serialized Relay.
+const relayStateVersion = 1
+
+// RelayState is the complete mutable state of one relay: contact
+// position, wear counters, in-flight settle accounting, and any injected
+// hardware fault. Names and the OnSettle hook are wiring, not state.
+type RelayState struct {
+	Closed  bool
+	Cycles  int64
+	Aborted int64
+	Pending time.Duration
+	Waited  time.Duration
+	Fail    FailMode
+}
+
+// State captures the relay's mutable state.
+func (r *Relay) State() RelayState {
+	return RelayState{
+		Closed:  r.closed,
+		Cycles:  r.cycles,
+		Aborted: r.aborted,
+		Pending: r.pending,
+		Waited:  r.waited,
+		Fail:    r.fail,
+	}
+}
+
+// Restore overwrites the relay's mutable state.
+func (r *Relay) Restore(st RelayState) {
+	r.closed = st.Closed
+	r.cycles = st.Cycles
+	r.aborted = st.Aborted
+	r.pending = st.Pending
+	r.waited = st.Waited
+	r.fail = st.Fail
+}
+
+// AppendTo serializes the state into e.
+func (st RelayState) AppendTo(e *journal.Encoder) {
+	e.U8(relayStateVersion)
+	e.Bool(st.Closed)
+	e.I64(st.Cycles)
+	e.I64(st.Aborted)
+	e.Dur(st.Pending)
+	e.Dur(st.Waited)
+	e.Int(int(st.Fail))
+}
+
+// ReadRelayState decodes one RelayState written by AppendTo.
+func ReadRelayState(d *journal.Decoder) RelayState {
+	d.ExpectVersion(relayStateVersion)
+	return RelayState{
+		Closed:  d.Bool(),
+		Cycles:  d.I64(),
+		Aborted: d.I64(),
+		Pending: d.Dur(),
+		Waited:  d.Dur(),
+		Fail:    FailMode(d.Int()),
+	}
+}
+
+// PairState is the state of one charge/discharge relay pair.
+type PairState struct {
+	Charge    RelayState
+	Discharge RelayState
+}
+
+// State captures both relays of the pair.
+func (p *Pair) State() PairState {
+	return PairState{Charge: p.Charge.State(), Discharge: p.Discharge.State()}
+}
+
+// Restore overwrites both relays of the pair.
+func (p *Pair) Restore(st PairState) {
+	p.Charge.Restore(st.Charge)
+	p.Discharge.Restore(st.Discharge)
+}
+
+// FabricState is the full switch-network state: every unit pair plus the
+// three series/parallel topology relays.
+type FabricState struct {
+	Pairs      []PairState
+	P1, P2, P3 RelayState
+}
+
+// State captures the whole fabric.
+func (f *Fabric) State() FabricState {
+	st := FabricState{
+		Pairs: make([]PairState, len(f.pairs)),
+		P1:    f.P1.State(),
+		P2:    f.P2.State(),
+		P3:    f.P3.State(),
+	}
+	for i, p := range f.pairs {
+		st.Pairs[i] = p.State()
+	}
+	return st
+}
+
+// Restore overwrites the whole fabric. The size must match.
+func (f *Fabric) Restore(st FabricState) error {
+	if len(st.Pairs) != len(f.pairs) {
+		return fmt.Errorf("relay: restoring %d pairs into fabric of %d", len(st.Pairs), len(f.pairs))
+	}
+	for i, p := range f.pairs {
+		p.Restore(st.Pairs[i])
+	}
+	f.P1.Restore(st.P1)
+	f.P2.Restore(st.P2)
+	f.P3.Restore(st.P3)
+	return nil
+}
+
+// AppendState serializes the whole fabric into e.
+func (f *Fabric) AppendState(e *journal.Encoder) {
+	e.Int(len(f.pairs))
+	for _, p := range f.pairs {
+		p.Charge.State().AppendTo(e)
+		p.Discharge.State().AppendTo(e)
+	}
+	f.P1.State().AppendTo(e)
+	f.P2.State().AppendTo(e)
+	f.P3.State().AppendTo(e)
+}
+
+// RestoreState decodes a fabric serialized by AppendState into f.
+func (f *Fabric) RestoreState(d *journal.Decoder) error {
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(f.pairs) {
+		return fmt.Errorf("relay: restoring %d pairs into fabric of %d", n, len(f.pairs))
+	}
+	for _, p := range f.pairs {
+		p.Charge.Restore(ReadRelayState(d))
+		p.Discharge.Restore(ReadRelayState(d))
+	}
+	f.P1.Restore(ReadRelayState(d))
+	f.P2.Restore(ReadRelayState(d))
+	f.P3.Restore(ReadRelayState(d))
+	return d.Err()
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"insure/internal/core"
+	"insure/internal/journal"
 	"insure/internal/sim"
 	"insure/internal/telemetry"
 	"insure/internal/trace"
@@ -68,6 +69,39 @@ func TestTickWithTelemetryAllocFree(t *testing.T) {
 		tod += step
 	}); n != 0 {
 		t.Fatalf("instrumented System.Tick allocates %.2f times per call, want 0", n)
+	}
+}
+
+// TestTickWithJournalingAllocBound proves attaching the crash-safe journal
+// does not break the hot-path allocation budget: every control pass encodes
+// the full manager state into a reused buffer and frames it into the
+// store's reused buffer, so the journaled tick stays under the same
+// amortised bound as the bare managed tick. Sync is disabled — fsync cost
+// is I/O, not allocation, and the smoke targets cover the synced path.
+func TestTickWithJournalingAllocBound(t *testing.T) {
+	sys, _ := newSteadySystem(t)
+	store, err := journal.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	store.Sync = false
+	mgr := core.NewJournaled(core.New(core.DefaultConfig(), sys.Config().BatteryCount), store)
+	// Warm the wrapper into steady state (first commits size the buffers).
+	tod := 8 * time.Hour
+	step := sys.Config().Step
+	for i := 0; i < 120; i++ {
+		sys.Tick(tod, mgr)
+		tod += step
+	}
+	if n := testing.AllocsPerRun(3000, func() {
+		sys.Tick(tod, mgr)
+		tod += step
+	}); n > 0.5 {
+		t.Fatalf("journaled System.Tick allocates %.2f times per call, want <= 0.5", n)
+	}
+	if err := mgr.Err(); err != nil {
+		t.Fatal(err)
 	}
 }
 

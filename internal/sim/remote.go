@@ -19,29 +19,62 @@ import (
 // the battery control panel are separate machines; tests use it to prove
 // the manager works unchanged across the fieldbus.
 func (s *System) AttachRemotePanel() (func() error, error) {
-	if s.remote != nil {
-		return nil, fmt.Errorf("sim: remote panel already attached")
+	addr, stopServer, err := s.ServePanel()
+	if err != nil {
+		return nil, err
+	}
+	cli, stopClient, err := s.ConnectRemote(addr)
+	if err != nil {
+		stopServer()
+		return nil, err
+	}
+	_ = cli
+	return func() error {
+		err := stopClient()
+		if e := stopServer(); err == nil {
+			err = e
+		}
+		return err
+	}, nil
+}
+
+// ServePanel exposes the PLC register file over Modbus TCP on loopback
+// and returns the listen address plus a teardown function. It is half of
+// AttachRemotePanel, split out so a harness can interpose something —
+// e.g. a faults.FlakyProxy — between the panel and the manager's client
+// connection.
+func (s *System) ServePanel() (string, func() error, error) {
+	if s.remoteServer != nil {
+		return "", nil, fmt.Errorf("sim: panel already served")
 	}
 	srv := modbus.NewServer(s.PLC.Regs)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
-		return nil, fmt.Errorf("sim: panel listen: %w", err)
+		return "", nil, fmt.Errorf("sim: panel listen: %w", err)
 	}
-	cli, err := modbus.Dial(addr.String())
+	s.remoteServer = srv
+	return addr.String(), func() error {
+		s.remoteServer = nil
+		return srv.Close()
+	}, nil
+}
+
+// ConnectRemote routes the control plane's actuations and telemetry reads
+// through a Modbus client dialed at addr (normally ServePanel's address,
+// or a proxy in front of it). The returned client is exposed so callers
+// can tune its timeout/retry policy before the run.
+func (s *System) ConnectRemote(addr string) (*modbus.Client, func() error, error) {
+	if s.remote != nil {
+		return nil, nil, fmt.Errorf("sim: remote panel already attached")
+	}
+	cli, err := modbus.Dial(addr)
 	if err != nil {
-		srv.Close()
-		return nil, fmt.Errorf("sim: panel dial: %w", err)
+		return nil, nil, fmt.Errorf("sim: panel dial: %w", err)
 	}
 	s.remote = cli
-	s.remoteServer = srv
-	return func() error {
+	return cli, func() error {
 		s.remote = nil
-		s.remoteServer = nil
-		err := cli.Close()
-		if e := srv.Close(); err == nil {
-			err = e
-		}
-		return err
+		return cli.Close()
 	}, nil
 }
 

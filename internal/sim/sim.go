@@ -554,10 +554,21 @@ func max(a, b int) int {
 // Run simulates one full day (from one hour before the solar window to one
 // hour past the operating window) under the manager.
 func (s *System) Run(mgr Manager) Result {
-	start, end := runSpan(s.cfg)
+	start, end := s.Span()
 	for tod := start; tod < end; tod += s.cfg.Step {
 		s.Tick(tod, mgr)
 	}
+	return s.Finish(mgr)
+}
+
+// Span returns the [start, end) time-of-day window a full-day Run covers.
+// Harnesses that drive Tick themselves — the sim's kill/resume mode and
+// the chaos campaigns — loop over this span and call Finish at the end.
+func (s *System) Span() (start, end time.Duration) { return runSpan(s.cfg) }
+
+// Finish seals a caller-driven tick loop and computes the day's Result,
+// exactly as Run does after its own loop.
+func (s *System) Finish(mgr Manager) Result {
 	s.endVolt = s.Bank.Unit(0).TerminalVoltage()
 	return s.result(mgr)
 }
