@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos vet check bench bench-json experiments clean
+.PHONY: all build test race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival vet check bench bench-json experiments clean
 
 all: build
 
@@ -49,12 +49,26 @@ smoke-chaos:
 race-chaos:
 	$(GO) test -race -count=1 -run 'TestCampaignFieldbusAndReplay|TestProxyConcurrentClientsUnderChaos' ./internal/chaos ./internal/faults
 
+# smoke-survival runs the quick survivability gates: ladder legality, a
+# single storm day of orderly degradation, the survival state round trip,
+# and the exposition contract for every emergency telemetry series.
+smoke-survival:
+	$(GO) test -count=1 -run 'TestLadderAdjacency|TestSurvivalStormDayOrderlyDegradation|TestSurvivalStateRoundTripContinuation' ./internal/core
+	$(GO) test -count=1 -run 'TestSurvivalSeriesExposition|TestTickWithSurvivalAllocBound' ./internal/sim
+
+# race-survival runs the full three-day storm campaign — surge faults, genset
+# dispatch, the baseline damage comparison, and the mid-emergency kill with
+# bit-identical recovery — under the race detector. A failing storm prints
+# its seed; rerun with `go test -run TestStorm ./internal/chaos -v`.
+race-survival:
+	$(GO) test -race -count=1 -run 'TestStorm' -v ./internal/chaos
+
 # check is the CI gate: static analysis, a clean build, the full test suite
 # under the race detector (the parallel experiment engine and campaign
 # runner are exercised concurrently there), the injected-fault smoke
-# simulation, the telemetry-plane smoke test, and the crash-recovery chaos
-# campaigns.
-check: vet build race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos
+# simulation, the telemetry-plane smoke test, the crash-recovery chaos
+# campaigns, and the energy-emergency survivability gates.
+check: vet build race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival
 
 # bench runs the simulation hot-path and experiment benchmarks.
 bench:

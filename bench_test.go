@@ -82,7 +82,8 @@ func BenchmarkBatteryChargeTick(b *testing.B) {
 }
 
 // BenchmarkSystemTick measures the instrumented hot path: the telemetry
-// plane is attached, so this doubles as the proof that live /metrics costs
+// plane and the survivability mode machine are both attached, so this
+// doubles as the proof that live /metrics and the emergency ladder cost
 // the tick loop nothing (0 allocs/op, atomic stores only).
 func BenchmarkSystemTick(b *testing.B) {
 	cfg := sim.DefaultConfig(trace.FullSystemHigh())
@@ -90,7 +91,9 @@ func BenchmarkSystemTick(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	mgr := core.New(core.DefaultConfig(), cfg.BatteryCount)
+	mcfg := core.DefaultConfig()
+	mcfg.Survival = core.DefaultSurvivalConfig()
+	mgr := core.New(mcfg, cfg.BatteryCount)
 	reg := telemetry.NewRegistry()
 	sys.AttachTelemetry(reg)
 	mgr.AttachTelemetry(reg)
@@ -119,7 +122,9 @@ func BenchmarkSystemTickJournaled(b *testing.B) {
 	}
 	defer store.Close()
 	store.Sync = false
-	mgr := core.NewJournaled(core.New(core.DefaultConfig(), cfg.BatteryCount), store)
+	mcfg := core.DefaultConfig()
+	mcfg.Survival = core.DefaultSurvivalConfig()
+	mgr := core.NewJournaled(core.New(mcfg, cfg.BatteryCount), store)
 	reg := telemetry.NewRegistry()
 	sys.AttachTelemetry(reg)
 	mgr.AttachTelemetry(reg)

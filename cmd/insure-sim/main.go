@@ -8,6 +8,8 @@
 //	insure-sim -weather sunny -workload seismic -policy insure
 //	insure-sim -weather rainy -workload video -compare
 //	insure-sim -peak 1000 -dump-trace solar.csv
+//	insure-sim -weather rainy -workload video -survival -genset
+//	insure-sim -storm-days 3 -survival -genset
 package main
 
 import (
@@ -23,8 +25,10 @@ import (
 	"time"
 
 	"insure/internal/baseline"
+	"insure/internal/chaos"
 	"insure/internal/core"
 	"insure/internal/faults"
+	"insure/internal/genset"
 	"insure/internal/journal"
 	"insure/internal/sim"
 	"insure/internal/solar"
@@ -57,6 +61,9 @@ func main() {
 	stateDir := flag.String("state-dir", "", "journal the control-plane state to this directory (insure policy only); enables crash recovery")
 	killSpec := flag.String("kill-at", "", "comma-separated sim times (e.g. 12h,15h30m) at which to hard-kill the controller and recover it from -state-dir")
 	tornKill := flag.Bool("torn-kill", false, "tear the journal tail at each -kill-at point, simulating a crash mid-commit")
+	survival := flag.Bool("survival", false, "arm the energy-emergency survivability ladder (insure policy only)")
+	gensetFit := flag.Bool("genset", false, "fit a diesel backup generator for last-resort dispatch")
+	stormDays := flag.Int("storm-days", 0, "run an N-day chaos storm campaign instead of a single day and print its report")
 	flag.Parse()
 
 	faultPlan, ferr := faults.Parse(*faultSpec)
@@ -75,6 +82,24 @@ func main() {
 	}
 	if *stateDir != "" && (*compare || *policy != "insure") {
 		log.Fatal("-state-dir journals the insure control plane; use -policy insure without -compare")
+	}
+	if *survival && (*compare || *policy != "insure") {
+		log.Fatal("-survival arms the insure control plane; use -policy insure without -compare")
+	}
+
+	if *stormDays > 0 {
+		scfg := chaos.DefaultStormConfig(*seed)
+		scfg.Days = *stormDays
+		scfg.Batteries = *batteries
+		scfg.Servers = *servers
+		scfg.Survival = *survival
+		scfg.Genset = *gensetFit
+		rep, err := chaos.RunStorm(scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep)
+		return
 	}
 
 	cond := solar.Sunny
@@ -142,6 +167,9 @@ func main() {
 			cfg := sim.DefaultConfig(tr)
 			cfg.BatteryCount = *batteries
 			cfg.ServerCount = *servers
+			if *gensetFit {
+				cfg.Secondary = genset.New(genset.DieselParams())
+			}
 			sys, err := sim.New(cfg, mkSink())
 			if err != nil {
 				return nil, nil, err
@@ -155,7 +183,7 @@ func main() {
 				})
 				sys.SetTickHook(func(tod time.Duration) { in.Tick(tod) })
 			}
-			var mgr sim.Manager = core.New(core.DefaultConfig(), cfg.BatteryCount)
+			var mgr sim.Manager = core.New(mgrConfig(*survival), cfg.BatteryCount)
 			if name == "baseline" {
 				mgr = baseline.New(baseline.DefaultConfig())
 			}
@@ -227,7 +255,7 @@ func main() {
 		}
 		var res sim.Result
 		if *stateDir != "" {
-			res, m = runJournaled(s, m.(*core.Manager), reg, kills, *stateDir, *tornKill)
+			res, m = runJournaled(s, m.(*core.Manager), mgrConfig(*survival), reg, kills, *stateDir, *tornKill)
 		} else {
 			res = s.Run(m)
 		}
@@ -247,9 +275,25 @@ func main() {
 			r.LoadKWh, r.EffectiveKWh, r.HarvestedKWh, r.CurtailedKWh)
 		fmt.Printf("  events           %d power ops, %d on/off cycles, %d VM ops, %d brownouts\n",
 			r.PowerOps, r.OnOffCycles, r.VMOps, r.Brownouts)
+		fmt.Printf("  vm state         %d checkpointed (saved), %d lost\n", r.VMsSaved, r.VMsLost)
 		fmt.Printf("  battery          min %.2f V, end %.2f V, stddev %.2f, wear %.2f Ah/unit\n",
 			float64(r.MinVolt), float64(r.EndVolt), r.VoltStdDev, float64(r.WearAhPerUnit))
-		if c, ok := mgr.(*core.Manager); ok {
+		if r.GenStarts > 0 || *gensetFit {
+			fmt.Printf("  genset           %d starts, %.2f run-hours, %.2f kWh delivered (%.2f kWh wasted), fuel $%.2f\n",
+				r.GenStarts, r.GenRunHours, r.GenKWh, r.GenWastedKWh, r.GenFuelCost)
+		}
+		// The journaled wrapper embeds the manager, so a plain type switch on
+		// *core.Manager would miss it; this interface catches both.
+		if c, ok := mgr.(interface {
+			FaultEvents() []core.FaultEvent
+			SurvivalEnabled() bool
+			Mode() core.OpMode
+			ModeTransitions() int
+		}); ok {
+			if c.SurvivalEnabled() {
+				fmt.Printf("  survival         %d ladder transitions, final mode %s\n",
+					c.ModeTransitions(), c.Mode())
+			}
 			for _, ev := range c.FaultEvents() {
 				fmt.Printf("  quarantined      unit %d at %v: %s\n", ev.Unit, ev.At, ev.Reason)
 			}
@@ -284,6 +328,17 @@ func main() {
 	report(run(*policy))
 }
 
+// mgrConfig builds the insure control-plane config, arming the
+// survivability ladder when asked. Both initial setup and journal
+// recovery go through here so a recovered controller keeps the ladder.
+func mgrConfig(survival bool) core.Config {
+	cfg := core.DefaultConfig()
+	if survival {
+		cfg.Survival = core.DefaultSurvivalConfig()
+	}
+	return cfg
+}
+
 // parseKills parses the -kill-at list into sorted sim times.
 func parseKills(spec string) ([]time.Duration, error) {
 	if spec == "" {
@@ -307,7 +362,7 @@ func parseKills(spec string) ([]time.Duration, error) {
 // keeps its physical state, recovery reconciles the restored relay intent
 // against it, and the run continues. It returns the result and the final
 // (possibly recovered) manager so the report can read its fault events.
-func runJournaled(sys *sim.System, mgr *core.Manager, reg *telemetry.Registry, kills []time.Duration, dir string, torn bool) (sim.Result, sim.Manager) {
+func runJournaled(sys *sim.System, mgr *core.Manager, mcfg core.Config, reg *telemetry.Registry, kills []time.Duration, dir string, torn bool) (sim.Result, sim.Manager) {
 	store, err := journal.Open(dir)
 	if err != nil {
 		log.Fatal(err)
@@ -327,7 +382,10 @@ func runJournaled(sys *sim.System, mgr *core.Manager, reg *telemetry.Registry, k
 					log.Fatal(err)
 				}
 			}
-			m2, store2, err := core.Recover(core.DefaultConfig(), sys.Bank.Size(), dir)
+			// Recovery must rebuild the controller under the same config the
+			// original ran with — a survival-armed plant that came back
+			// without its ladder would silently lose the emergency posture.
+			m2, store2, err := core.Recover(mcfg, sys.Bank.Size(), dir)
 			if err != nil {
 				log.Fatal(err)
 			}

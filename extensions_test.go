@@ -91,6 +91,64 @@ func TestWindSiteOrdering(t *testing.T) {
 	}
 }
 
+// TestSurvivalLadderKeepsDrainedDayClean is the facade-level survivability
+// contract: a drained bank on a dark day, managed by the mode ladder, must
+// end the day with zero crash-brownouts and zero uncheckpointed VM loss.
+func TestSurvivalLadderKeepsDrainedDayClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-day run")
+	}
+	r, err := Run(Config{
+		Day:        Day{Weather: Rainy, PeakWatts: 300},
+		Workload:   SurveillanceWorkload(),
+		InitialSoC: 0.30,
+		Survival:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Brownouts != 0 {
+		t.Errorf("survival-managed day crash-browned out %d times", r.Brownouts)
+	}
+	if r.VMsLost != 0 {
+		t.Errorf("lost %d uncheckpointed VMs under survival management", r.VMsLost)
+	}
+}
+
+// TestSurvivalGensetBridgesDrainedDay checks the last-resort dispatch at
+// the facade level: on the same drained dark day, fitting a diesel genset
+// under the ladder buys strictly more uptime and accounts its fuel.
+func TestSurvivalGensetBridgesDrainedDay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired full-day runs")
+	}
+	base := Config{
+		Day:        Day{Weather: Rainy, PeakWatts: 300},
+		Workload:   SurveillanceWorkload(),
+		InitialSoC: 0.30,
+		Survival:   true,
+	}
+	solo, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withGen := base
+	withGen.Backup = BackupDiesel
+	bridged, err := Run(withGen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bridged.Brownouts != 0 || bridged.VMsLost != 0 {
+		t.Errorf("bridged day not clean: %d brownouts, %d VMs lost", bridged.Brownouts, bridged.VMsLost)
+	}
+	if bridged.UptimeFrac <= solo.UptimeFrac {
+		t.Errorf("genset bridge uptime %.2f not above unbacked %.2f", bridged.UptimeFrac, solo.UptimeFrac)
+	}
+	if bridged.GenStarts == 0 || bridged.GenFuelCost <= 0 {
+		t.Errorf("generator accounting empty: starts %d, fuel $%.2f", bridged.GenStarts, bridged.GenFuelCost)
+	}
+}
+
 func TestBackupStrings(t *testing.T) {
 	if BackupNone.String() != "none" || BackupDiesel.String() != "diesel" || BackupFuelCell.String() != "fuel-cell" {
 		t.Error("backup names wrong")

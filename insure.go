@@ -184,6 +184,11 @@ type Config struct {
 	// Backup fits an optional secondary generator (Fig 6's "Secondary
 	// Power"); the InSURE manager bridges renewable droughts with it.
 	Backup Backup
+	// Survival arms the energy-emergency mode ladder on the InSURE manager:
+	// hysteresis-guarded degraded modes, orderly pre-brownout checkpoint
+	// shutdown, last-resort genset dispatch (with a Backup fitted), and
+	// staged blackstart recovery. Ignored by the other policies.
+	Survival bool
 	// Wind adds a 1 kW wind turbine on the renewable bus (§2.2 motivates
 	// standalone wind/solar systems; the prototype was solar-only).
 	Wind WindSite
@@ -264,11 +269,17 @@ type Report struct {
 	HarvestedKWh float64
 	CurtailedKWh float64
 
+	// Survivability accounting: checkpoints completed versus VM state
+	// destroyed by power loss (zero loss is the survivability contract).
+	VMsSaved int
+	VMsLost  int
+
 	// Backup-generator accounting (zero without a Backup fitted).
-	GenStarts   int
-	GenRunHours float64
-	GenKWh      float64
-	GenFuelCost float64
+	GenStarts    int
+	GenRunHours  float64
+	GenKWh       float64
+	GenFuelCost  float64
+	GenWastedKWh float64
 
 	// WindKWh is auxiliary wind generation (zero without a Wind site).
 	WindKWh float64
@@ -297,10 +308,13 @@ func fromResult(r sim.Result) Report {
 		Brownouts:       r.Brownouts,
 		HarvestedKWh:    r.HarvestedKWh,
 		CurtailedKWh:    r.CurtailedKWh,
+		VMsSaved:        r.VMsSaved,
+		VMsLost:         r.VMsLost,
 		GenStarts:       r.GenStarts,
 		GenRunHours:     r.GenRunHours,
 		GenKWh:          r.GenKWh,
 		GenFuelCost:     r.GenFuelCost,
+		GenWastedKWh:    r.GenWastedKWh,
 		WindKWh:         r.AuxKWh,
 	}
 }
@@ -358,7 +372,11 @@ func (c Config) build() (*sim.System, sim.Manager, error) {
 	case PolicyBlink:
 		mgr = blink.New(blink.DefaultConfig())
 	default:
-		mgr = core.New(core.DefaultConfig(), cfg.BatteryCount)
+		mcfg := core.DefaultConfig()
+		if c.Survival {
+			mcfg.Survival = core.DefaultSurvivalConfig()
+		}
+		mgr = core.New(mcfg, cfg.BatteryCount)
 	}
 	return sys, mgr, nil
 }

@@ -121,7 +121,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
 		"table1", "table2", "table3", "table6", "table7",
 		"extbackup", "exthybrid", "extforecast", "extendurance", "extpriorart",
-		"extfaults",
+		"extfaults", "extsurvival",
 	}
 	have := map[string]bool{}
 	for _, id := range ExperimentIDs() {

@@ -93,6 +93,11 @@ type Config struct {
 	// ForecastCapacity is the installed clear-sky peak the estimator
 	// normalises against (the prototype's 1.6 kW × 0.95 derate).
 	ForecastCapacity units.Watt
+
+	// Survival enables the energy-emergency survivability ladder
+	// (survival.go): degraded operating modes, orderly pre-brownout
+	// shutdown, last-resort generator dispatch, and staged blackstart.
+	Survival SurvivalConfig
 }
 
 // DefaultConfig returns the prototype's tuning.
@@ -147,8 +152,11 @@ type Manager struct {
 	// (Table 2's finding that 4 VMs beat 8 for seismic).
 	bestBatchVMs int
 
-	// fc is the optional lookahead estimator (nil unless UseForecast).
+	// fc is the optional lookahead estimator (nil unless UseForecast or
+	// the survivability layer, which needs the horizon, is enabled).
 	fc *forecast.Estimator
+	// sv is the optional survivability mode machine (nil unless enabled).
+	sv *survival
 	// lastModes remembers applied relay modes for transition logging.
 	lastModes []relay.Mode
 
@@ -196,12 +204,15 @@ func New(cfg Config, n int) *Manager {
 		duty:         1,
 		watch:        newFaultWatch(n),
 	}
-	if cfg.UseForecast {
+	if cfg.UseForecast || cfg.Survival.Enabled {
 		cap := cfg.ForecastCapacity
 		if cap <= 0 {
 			cap = 1520
 		}
 		m.fc = forecast.NewEstimator(cap)
+	}
+	if cfg.Survival.Enabled {
+		m.sv = &survival{cfg: cfg.Survival.normalized()}
 	}
 	return m
 }
@@ -320,6 +331,11 @@ func (m *Manager) Control(sys *sim.System, now time.Duration) {
 		m.holdDownUntil = 0
 		m.targetVM = 0
 		m.lastModes = nil
+		if m.sv != nil {
+			// The mode itself persists across days — a multi-day storm keeps
+			// its rung — but the dwell clock must follow the new day's time.
+			m.sv.modeSince = now
+		}
 	}
 	if m.bestBatchVMs == 0 {
 		m.bestBatchVMs = pickBestBatchVMs(sys)
@@ -355,7 +371,13 @@ func (m *Manager) Control(sys *sim.System, now time.Duration) {
 
 	m.retireDrainedUnits(sys)
 	m.promoteChargedUnits(sys)
-	m.manageSecondary(sys, now)
+	if m.sv != nil {
+		// The survivability ladder owns emergency posture and generator
+		// dispatch; the simple reactive secondary policy stands down.
+		m.surviveEvaluate(sys, now)
+	} else {
+		m.manageSecondary(sys, now)
+	}
 	m.planLoad(sys, now)
 	m.assignDischargeSet(sys, now)
 	m.assignChargeSet(sys)
@@ -506,7 +528,22 @@ func (m *Manager) planLoad(sys *sim.System, now time.Duration) {
 		// high-current discharge delivers little energy).
 		reserve = units.Watt(0.7 * float64(reserve))
 	}
-	budget := sys.SolarNow() + reserve
+	if m.sv != nil && m.sv.mode >= ModeSurvival {
+		// In Survival and below the buffer's remaining energy is earmarked
+		// for the checkpoint window, not for revenue work: only present
+		// renewables (and the genset) fund VMs, so the bank cannot be
+		// drained past the point where an orderly shutdown is affordable.
+		reserve = 0
+	}
+	supply := sys.SolarNow()
+	if m.sv != nil {
+		// The survivability layer plans against the dimmed supply, not the
+		// instantaneous reading: sizing the cluster to a passing bright
+		// spell starts a minutes-long restore cycle that the next cloud
+		// front dumps onto a buffer being saved for the checkpoint window.
+		supply = m.dimmedSupply(sys, now)
+	}
+	budget := supply + reserve
 	if gen := sys.Secondary; gen != nil && gen.Available() {
 		budget += units.Watt(0.9 * float64(gen.Params().Rated))
 	}
@@ -527,13 +564,28 @@ func (m *Manager) planLoad(sys *sim.System, now time.Duration) {
 	}
 	// Fig 7 Standby flow: abundant green power drives the servers directly
 	// even while the buffer is still commissioning.
-	solarAlone := sys.SolarNow() >= units.Watt(1.3*float64(estNodePower(sys, 2, 1)))
+	solarAlone := supply >= units.Watt(1.3*float64(estNodePower(sys, 2, 1)))
+	// A warm generator is online reserve in its own right: when the
+	// survivability ladder has dispatched it, serving must not wait for
+	// battery commissioning the genset was started to substitute for.
+	genReady := m.sv != nil && sys.Secondary != nil && sys.Secondary.Available()
 	if !sys.InWindow(now) || !sys.Sink.HasWork(now) || now < m.holdDownUntil ||
-		(online < wantOnline && !solarAlone) {
+		(online < wantOnline && !solarAlone && !genReady) ||
+		(m.sv != nil && m.sv.blocksService()) {
 		if sys.Cluster.TargetVMs() != 0 {
 			sys.Cluster.Shutdown()
 		}
 		m.targetVM = 0
+		if m.sv != nil {
+			// Everything the budget could have powered is shed posture.
+			m.sv.shedWatts = 0
+			if m.sv.mode >= ModeSurvival && sys.InWindow(now) && sys.Sink.HasWork(now) {
+				m.sv.shedWatts = float64(estNodePower(sys, m.budgetFitVMs(sys), m.duty))
+			}
+			if m.tel != nil {
+				m.tel.shedWatts.Set(m.sv.shedWatts)
+			}
+		}
 		return
 	}
 
@@ -544,6 +596,16 @@ func (m *Manager) planLoad(sys *sim.System, now time.Duration) {
 		limit = m.bestBatchVMs
 		// Batch allocations are sticky, so commit only with 15% headroom.
 		sizingBudget = units.Watt(float64(budget) / 1.15)
+	}
+	uncappedLimit := limit
+	if m.sv != nil && spec.Kind != workload.Batch {
+		// Stream loads shed VM count on every downgrade; batch loads keep
+		// their allocation through Conservative (duty cuts first) and are
+		// checkpoint-shed below the cap only from Survival on (after the
+		// sticky-hold logic, so the hold cannot undo the shed).
+		if c := m.sv.vmCap(maxVMs, sys.Config().ServerProfile.VMSlots); c < limit {
+			limit = c
+		}
 	}
 	target := 0
 	for n := limit; n >= 1; n-- {
@@ -575,6 +637,43 @@ func (m *Manager) planLoad(sys *sim.System, now time.Duration) {
 			target = m.targetVM
 		}
 	}
+	if m.sv != nil && spec.Kind != workload.Batch && target > m.targetVM && now != m.lastCoarse {
+		// Power-state churn guard: every grow decision commits nodes to a
+		// minutes-long restore at checkpoint-level draw before any work is
+		// done, so under the survivability ladder growth happens only at
+		// SPM coarse boundaries. Sheds stay immediate — safety never waits
+		// out a timer.
+		target = m.targetVM
+	}
+	if m.sv != nil {
+		// Survival posture is a hard ceiling for every workload kind: batch
+		// sticky holds and stream hysteresis may never raise the target back
+		// above the rung's cap.
+		if c := m.sv.vmCap(maxVMs, sys.Config().ServerProfile.VMSlots); target > c {
+			target = c
+		}
+		// Checkpointability invariant: never run more nodes than the plant
+		// could checkpoint in parallel out of present resources. A target
+		// the buffer cannot save on demand is a debt the next brownout
+		// collects as lost VM state, so it outranks even batch stickiness.
+		slots := sys.Config().ServerProfile.VMSlots
+		if c := m.ckptSupportNodes(sys, now) * slots; target > c {
+			target = c
+		}
+		// shedWatts: what the raw budget supports minus what the posture
+		// allows — the survivability layer's live shedding depth.
+		unc := target
+		for n := uncappedLimit; n > target; n-- {
+			if estNodePower(sys, n, m.duty) <= sizingBudget {
+				unc = n
+				break
+			}
+		}
+		m.sv.shedWatts = float64(estNodePower(sys, unc, m.duty)) - float64(estNodePower(sys, target, m.duty))
+		if m.tel != nil {
+			m.tel.shedWatts.Set(m.sv.shedWatts)
+		}
+	}
 	if target != m.targetVM {
 		sys.Log.Addf(now, logbook.Load, "cluster", "VM target %d -> %d (budget %.0f W)",
 			m.targetVM, target, float64(budget))
@@ -592,7 +691,11 @@ func (m *Manager) planLoad(sys *sim.System, now time.Duration) {
 		// down when the evening sag or a cloud front arrives.
 		dutyBudget := m.dimmedSupply(sys, now) + reserve
 		duty := m.cfg.MinDuty
-		for d := 1.0; d >= m.cfg.MinDuty-1e-9; d -= m.cfg.DutyStep {
+		maxDuty := 1.0
+		if m.sv != nil {
+			maxDuty = m.sv.dutyCap(m.cfg.MinDuty)
+		}
+		for d := maxDuty; d >= m.cfg.MinDuty-1e-9; d -= m.cfg.DutyStep {
 			if estNodePower(sys, m.targetVM, d) <= dutyBudget {
 				duty = d
 				break
@@ -795,7 +898,11 @@ func (m *Manager) temporalCap(sys *sim.System) {
 		sys.Cluster.SetDuty(m.duty)
 	}
 
-	if online > 0 && socSum/float64(online) < m.cfg.EmergencySoC && m.dischargeablePower(sys) < sys.Cluster.Power()-sys.SolarNow() {
+	// With the survivability ladder attached, emergency shutdown belongs to
+	// the mode machine (it fires earlier, through the orderly Survival →
+	// Blackout edge); the reactive floor here would fight its journal state.
+	if m.sv == nil && online > 0 && socSum/float64(online) < m.cfg.EmergencySoC &&
+		m.dischargeablePower(sys) < sys.Cluster.Power()-sys.SolarNow() {
 		sys.Cluster.Shutdown()
 		m.targetVM = 0
 	}

@@ -10,7 +10,9 @@ import (
 )
 
 // managerStateVersion guards the binary layout of a serialized Manager.
-const managerStateVersion = 1
+// v2 appended the survivability mode machine (survival.go) so a controller
+// crash mid-emergency recovers into the same ladder rung.
+const managerStateVersion = 2
 
 // AppendState serializes the manager's complete mutable state — group
 // table, discharge-history table, SPM/TPM phase, charge batch, forecast
@@ -106,6 +108,16 @@ func (m *Manager) AppendState(e *journal.Encoder) {
 		e.Dur(ev.At)
 		e.Int(ev.Unit)
 		e.String(ev.Reason)
+	}
+
+	// survivability mode machine (v2)
+	e.Bool(m.sv != nil)
+	if m.sv != nil {
+		e.Int(int(m.sv.mode))
+		e.Dur(m.sv.modeSince)
+		e.Int(m.sv.transitions)
+		e.Int(m.sv.bsTarget)
+		e.F64(m.sv.shedWatts)
 	}
 }
 
@@ -222,6 +234,23 @@ func (m *Manager) RestoreState(d *journal.Decoder) error {
 			Unit:   d.Int(),
 			Reason: d.String(),
 		})
+	}
+
+	if hasSv := d.Bool(); hasSv {
+		mode := OpMode(d.Int())
+		since := d.Dur()
+		transitions := d.Int()
+		bsTarget := d.Int()
+		shed := d.F64()
+		// If the config no longer enables survival the fields are read and
+		// dropped — a config change must not be masked by disk.
+		if m.sv != nil {
+			m.sv.mode = mode
+			m.sv.modeSince = since
+			m.sv.transitions = transitions
+			m.sv.bsTarget = bsTarget
+			m.sv.shedWatts = shed
+		}
 	}
 	return d.Err()
 }

@@ -17,6 +17,12 @@ type managerTelemetry struct {
 	quarantines     *telemetry.Counter
 	recoveries      *telemetry.Counter
 	reconciliations *telemetry.Counter
+
+	// Survivability ladder (survival.go): current rung, lifetime ladder
+	// moves, and the live shedding depth the posture imposes.
+	mode            *telemetry.Gauge
+	modeTransitions *telemetry.Counter
+	shedWatts       *telemetry.Gauge
 }
 
 // AttachTelemetry registers the manager's counters on reg and installs a
@@ -36,8 +42,26 @@ func (m *Manager) AttachTelemetry(reg *telemetry.Registry) {
 			"Control-plane crash recoveries completed from the state journal."),
 		reconciliations: reg.Counter("insure_recovery_reconciliations_total",
 			"Relay pairs re-driven after recovery because restored intent disagreed with the live plant."),
+		mode: reg.Gauge("insure_survival_mode",
+			"Survivability ladder rung: 0 normal, 1 conservative, 2 survival, 3 blackout, 4 blackstart."),
+		modeTransitions: reg.Counter("insure_survival_transitions_total",
+			"Survivability ladder transitions over the manager's life."),
+		shedWatts: reg.Gauge("insure_survival_shed_watts",
+			"Load the survivability posture withholds versus what the raw power budget supports, watts."),
 	}
 	m.tel = t
+	if m.sv != nil {
+		// Recovery ordering: a restored mode machine attaches telemetry
+		// after its state is already non-zero; bring the registry up to the
+		// manager's lifetime count. The delta form keeps re-attachment after
+		// a crash recovery (same registry, restored manager) from double
+		// counting.
+		t.mode.Set(float64(m.sv.mode))
+		if d := int64(m.sv.transitions) - t.modeTransitions.Value(); d > 0 {
+			t.modeTransitions.Add(d)
+		}
+		t.shedWatts.Set(m.sv.shedWatts)
+	}
 	// The health check reads only the atomic counter, so it is safe from
 	// the HTTP goroutine while the control loop runs.
 	reg.AddHealthCheck("faultwatch", func() error {

@@ -92,7 +92,12 @@ type Generator struct {
 	starts    int
 	runTime   time.Duration
 	delivered units.WattHour
+	wasted    units.WattHour
 	fuelCost  float64
+
+	// tel, when set by AttachTelemetry, mirrors the counters above into the
+	// live registry (telemetry.go).
+	tel *gensetTelemetry
 }
 
 // New returns a stopped generator.
@@ -110,6 +115,9 @@ func (g *Generator) Start() {
 	g.running = true
 	g.warmingFor = g.p.StartDelay
 	g.starts++
+	if g.tel != nil {
+		g.tel.starts.Inc()
+	}
 }
 
 // Stop commands the generator off immediately.
@@ -130,6 +138,10 @@ func (g *Generator) RunTime() time.Duration { return g.runTime }
 // Delivered is the cumulative energy produced.
 func (g *Generator) Delivered() units.WattHour { return g.delivered }
 
+// Wasted is the cumulative energy dumped to hold the governor's minimum
+// load — fuel burnt for output nobody consumed.
+func (g *Generator) Wasted() units.WattHour { return g.wasted }
+
 // FuelCost is the cumulative fuel spend in dollars.
 func (g *Generator) FuelCost() float64 { return g.fuelCost }
 
@@ -139,17 +151,34 @@ func (g *Generator) ServiceDue() bool {
 }
 
 // Step runs the generator for dt against the requested demand and returns
-// the power actually delivered. While warming up it burns idle fuel but
-// delivers nothing.
+// the power actually delivered, averaged over the tick. While warming up it
+// burns idle fuel but delivers nothing.
 func (g *Generator) Step(demand units.Watt, dt time.Duration) units.Watt {
+	out := g.step(demand, dt)
+	if g.tel != nil {
+		g.tel.publish(g, out)
+	}
+	return out
+}
+
+func (g *Generator) step(demand units.Watt, dt time.Duration) units.Watt {
 	if !g.running {
 		return 0
 	}
 	g.runTime += dt
 	g.fuelCost += g.p.IdleFuelPerHour * dt.Hours()
+	live := dt
 	if g.warmingFor > 0 {
-		g.warmingFor -= dt
-		return 0
+		if g.warmingFor >= dt {
+			g.warmingFor -= dt
+			return 0
+		}
+		// The machine comes up partway through this tick: output (and fuel
+		// burnt against it) accrues only over the post-warm-up remainder, so
+		// coarse and fine tick sizes agree on the ramp-in energy and a
+		// partial-tick start never emits free energy.
+		live = dt - g.warmingFor
+		g.warmingFor = 0
 	}
 	if demand < 0 {
 		demand = 0
@@ -165,8 +194,11 @@ func (g *Generator) Step(demand units.Watt, dt time.Duration) units.Watt {
 	if burnFor < min {
 		burnFor = min
 	}
-	e := units.Energy(burnFor, dt)
+	e := units.Energy(burnFor, live)
 	g.fuelCost += g.p.FuelPerKWh * e.KWh()
-	g.delivered += units.Energy(out, dt)
-	return out
+	g.delivered += units.Energy(out, live)
+	g.wasted += units.Energy(burnFor-out, live)
+	// Callers integrate the return value over the whole tick, so scale a
+	// partial-tick contribution down to its tick-average power.
+	return units.Watt(float64(out) * (float64(live) / float64(dt)))
 }

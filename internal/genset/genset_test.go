@@ -120,6 +120,75 @@ func TestRunTimeAndService(t *testing.T) {
 	}
 }
 
+// TestRampInEnergyTickInvariant pins the start-delay accounting across tick
+// boundaries: however the simulation slices time, a start delivers exactly
+// (total − StartDelay) × demand of energy — a partial-tick start must not
+// emit free energy during warm-up, nor swallow the post-warm-up remainder
+// of its tick.
+func TestRampInEnergyTickInvariant(t *testing.T) {
+	const demand = units.Watt(1000) // 50% load: above the min-load floor
+	cases := []struct {
+		name  string
+		tick  time.Duration
+		ticks int
+	}{
+		{"fine 1s", time.Second, 60},
+		{"3s", 3 * time.Second, 20},
+		{"5s", 5 * time.Second, 12},
+		{"delay-aligned 15s", 15 * time.Second, 4},
+		{"control-period 30s", 30 * time.Second, 2},
+		{"single coarse 60s", time.Minute, 1},
+		{"non-divisor 7s", 7 * time.Second, 9}, // 63 s total
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := New(DieselParams())
+			g.Start()
+			var integrated units.WattHour
+			for i := 0; i < c.ticks; i++ {
+				got := g.Step(demand, c.tick)
+				integrated += units.Energy(got, c.tick)
+			}
+			total := time.Duration(c.ticks) * c.tick
+			want := units.Energy(demand, total-g.Params().StartDelay)
+			if diff := float64(g.Delivered() - want); diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("delivered %.6f Wh over %v in %v ticks, want %.6f",
+					float64(g.Delivered()), total, c.tick, float64(want))
+			}
+			// The tick-averaged return values must integrate to the same
+			// energy the generator accounts internally.
+			if diff := float64(integrated - g.Delivered()); diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("integrated return %.6f Wh, internal accounting %.6f",
+					float64(integrated), float64(g.Delivered()))
+			}
+			// Fuel is idle burn (same total run time) plus per-kWh burn on
+			// the same energy, so it must agree across tick sizes too.
+			wantFuel := g.Params().IdleFuelPerHour*total.Hours() +
+				g.Params().FuelPerKWh*want.KWh()
+			if diff := g.FuelCost() - wantFuel; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("fuel $%.6f, want $%.6f", g.FuelCost(), wantFuel)
+			}
+		})
+	}
+}
+
+func TestMinLoadWasteIsTracked(t *testing.T) {
+	g := New(DieselParams())
+	g.Start()
+	g.Step(0, g.Params().StartDelay) // exactly consume the warm-up
+	for i := 0; i < 3600; i++ {
+		g.Step(0, time.Second)
+	}
+	// Zero demand for an hour at a 30% min-load floor on 2 kW: 600 Wh dumped.
+	want := units.Energy(units.Watt(0.3*float64(g.Params().Rated)), time.Hour)
+	if diff := float64(g.Wasted() - want); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("wasted %.3f Wh, want %.3f", float64(g.Wasted()), float64(want))
+	}
+	if g.Delivered() != 0 {
+		t.Errorf("delivered %.3f Wh with zero demand", float64(g.Delivered()))
+	}
+}
+
 func TestStopCutsOutput(t *testing.T) {
 	g := New(FuelCellParams())
 	g.Start()

@@ -1,0 +1,75 @@
+package genset
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"insure/internal/telemetry"
+)
+
+func TestTelemetryMirrorsGeneratorState(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := New(DieselParams())
+	g.AttachTelemetry(reg)
+
+	g.Start()
+	g.Step(0, g.Params().StartDelay)
+	for i := 0; i < 60; i++ {
+		g.Step(1000, time.Second)
+	}
+
+	if got := g.tel.starts.Value(); got != int64(g.Starts()) {
+		t.Errorf("starts counter %d, generator reports %d", got, g.Starts())
+	}
+	if got := g.tel.delivered.Value(); got != float64(g.Delivered()) {
+		t.Errorf("delivered gauge %v, generator reports %v", got, float64(g.Delivered()))
+	}
+	if got := g.tel.fuel.Value(); got != g.FuelCost() {
+		t.Errorf("fuel gauge %v, generator reports %v", got, g.FuelCost())
+	}
+	if got := g.tel.running.Value(); got != 1 {
+		t.Errorf("running gauge %v while running", got)
+	}
+	g.Stop()
+	g.Step(1000, time.Second)
+	if got := g.tel.running.Value(); got != 0 {
+		t.Errorf("running gauge %v after stop", got)
+	}
+	if got := g.tel.output.Value(); got != 0 {
+		t.Errorf("output gauge %v after stop", got)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"insure_genset_starts_total",
+		"insure_genset_running",
+		"insure_genset_output_watts",
+		"insure_genset_run_hours",
+		"insure_genset_fuel_dollars",
+		"insure_genset_delivered_watt_hours",
+		"insure_genset_wasted_watt_hours",
+	} {
+		if !strings.Contains(sb.String(), series) {
+			t.Errorf("exposition is missing %s", series)
+		}
+	}
+}
+
+// TestAttachAfterStartsReplaysCounter covers recovery ordering: a generator
+// that already started (state restored before telemetry attached) must not
+// report zero lifetime starts.
+func TestAttachAfterStartsReplaysCounter(t *testing.T) {
+	g := New(DieselParams())
+	g.Start()
+	g.Stop()
+	g.Start()
+	reg := telemetry.NewRegistry()
+	g.AttachTelemetry(reg)
+	if got := g.tel.starts.Value(); got != 2 {
+		t.Errorf("starts counter %d after late attach, want 2", got)
+	}
+}

@@ -115,7 +115,14 @@ type Node struct {
 	duty      float64 // DVFS duty cycle in (0,1]
 	util      float64 // workload CPU utilisation per active VM pair
 
+	// savingVMs is how many VM images the in-flight checkpoint covers; the
+	// allocator zeroes activeVMs the moment a node leaves service, so the
+	// count must be latched when the checkpoint begins.
+	savingVMs int
+
 	onOffCycles int
+	vmsSaved    int // VM images whose checkpoint completed
+	vmsLost     int // VMs destroyed by power loss before their image was safe
 	energy      units.WattHour
 	busyTime    time.Duration
 }
@@ -175,8 +182,34 @@ func (n *Node) PowerOff() {
 	if n.state == On || n.state == Restoring {
 		n.state = Checkpointing
 		n.timer = n.prof.CheckpointFor(n.activeVMs)
+		n.savingVMs = n.activeVMs
 	}
 }
+
+// Crash cuts the node's power instantly — the bus collapsed under it. A
+// node caught On loses its VMs' in-memory state; one caught Checkpointing
+// loses the images it was still saving. A node caught Restoring loses
+// nothing: the checkpoint images it boots from stay intact on disk.
+func (n *Node) Crash() {
+	switch n.state {
+	case On:
+		n.vmsLost += n.activeVMs
+	case Checkpointing:
+		n.vmsLost += n.savingVMs
+	}
+	if n.state != Off {
+		n.state = Off
+		n.timer = 0
+		n.savingVMs = 0
+		n.onOffCycles++
+	}
+}
+
+// VMsSaved counts VM images whose checkpoint completed over the node's life.
+func (n *Node) VMsSaved() int { return n.vmsSaved }
+
+// VMsLost counts VMs destroyed by power loss before their state was safe.
+func (n *Node) VMsLost() int { return n.vmsLost }
 
 // Running reports whether the node currently executes work.
 func (n *Node) Running() bool { return n.state == On }
@@ -214,6 +247,8 @@ func (n *Node) Step(dt time.Duration) float64 {
 		if n.timer <= 0 {
 			n.state = Off
 			n.onOffCycles++
+			n.vmsSaved += n.savingVMs
+			n.savingVMs = 0
 		}
 		return 0
 	case On:
@@ -346,6 +381,36 @@ func (c *Cluster) Shutdown() {
 	for _, n := range c.nodes {
 		n.SetActiveVMs(0)
 	}
+}
+
+// Crash cuts power to every node at once — a bus collapse, not a control
+// action. VMs whose state was not yet checkpointed are lost.
+func (c *Cluster) Crash() {
+	for _, n := range c.nodes {
+		n.Crash()
+	}
+	c.targetVMs = 0
+	for _, n := range c.nodes {
+		n.SetActiveVMs(0)
+	}
+}
+
+// VMsSaved sums completed VM checkpoints across nodes.
+func (c *Cluster) VMsSaved() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.VMsSaved()
+	}
+	return total
+}
+
+// VMsLost sums VMs destroyed by power loss across nodes.
+func (c *Cluster) VMsLost() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.VMsLost()
+	}
+	return total
 }
 
 // Power is the cluster's present total draw.

@@ -336,3 +336,127 @@ func TestClusterTotalSlots(t *testing.T) {
 		t.Errorf("size = %d", c.Size())
 	}
 }
+
+// TestCheckpointRestoreEdgeCases pins the Profile timing model at its
+// corners: zero VMs costs the bare node-level sequencing, and full
+// occupancy reproduces the paper's ~15-minute on/off disruption exactly.
+func TestCheckpointRestoreEdgeCases(t *testing.T) {
+	cases := []struct {
+		name               string
+		prof               Profile
+		vms                int
+		wantSave, wantBoot time.Duration
+	}{
+		{"xeon empty", Xeon(), 0, 3 * time.Minute, 4 * time.Minute},
+		{"xeon one VM", Xeon(), 1, 5 * time.Minute, 6 * time.Minute},
+		{"xeon full", Xeon(), 2, 7 * time.Minute, 8 * time.Minute},
+		{"i7 empty", CoreI7(), 0, time.Minute, time.Minute},
+		{"i7 full", CoreI7(), 2, 2 * time.Minute, 3 * time.Minute},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.prof.CheckpointFor(c.vms); got != c.wantSave {
+				t.Errorf("CheckpointFor(%d) = %v, want %v", c.vms, got, c.wantSave)
+			}
+			if got := c.prof.RestoreFor(c.vms); got != c.wantBoot {
+				t.Errorf("RestoreFor(%d) = %v, want %v", c.vms, got, c.wantBoot)
+			}
+		})
+	}
+	// Full occupancy is the paper's ~15 min cycle, to the minute.
+	p := Xeon()
+	if total := p.CheckpointFor(p.VMSlots) + p.RestoreFor(p.VMSlots); total != 15*time.Minute {
+		t.Errorf("full-occupancy cycle = %v, want exactly 15m", total)
+	}
+}
+
+// TestCrashLosesUncheckpointedState pins the crash-vs-checkpoint contrast
+// the survivability layer is built on.
+func TestCrashLosesUncheckpointedState(t *testing.T) {
+	// A node caught On loses all its running VMs.
+	n := NewNode(Xeon())
+	n.SetActiveVMs(2)
+	n.PowerOn()
+	n.Step(n.Profile().RestoreFor(2))
+	if !n.Running() {
+		t.Fatal("node should be on")
+	}
+	n.Crash()
+	if n.State() != Off || n.Power() != 0 {
+		t.Fatalf("crashed node state %v, power %v", n.State(), n.Power())
+	}
+	if n.VMsLost() != 2 || n.VMsSaved() != 0 {
+		t.Errorf("lost %d saved %d, want 2/0", n.VMsLost(), n.VMsSaved())
+	}
+
+	// A node caught mid-checkpoint loses the images it was still saving.
+	n = NewNode(Xeon())
+	n.SetActiveVMs(2)
+	n.PowerOn()
+	n.Step(n.Profile().RestoreFor(2))
+	n.PowerOff()
+	n.SetActiveVMs(0) // the allocator zeroes the count; the latch must hold
+	n.Step(time.Minute)
+	n.Crash()
+	if n.VMsLost() != 2 {
+		t.Errorf("mid-checkpoint crash lost %d VMs, want 2", n.VMsLost())
+	}
+
+	// A completed checkpoint is safe: crashing afterwards loses nothing.
+	n = NewNode(Xeon())
+	n.SetActiveVMs(1)
+	n.PowerOn()
+	n.Step(n.Profile().RestoreFor(1))
+	n.PowerOff()
+	n.Step(n.Profile().CheckpointFor(1))
+	if n.VMsSaved() != 1 {
+		t.Fatalf("saved %d VMs after completed checkpoint, want 1", n.VMsSaved())
+	}
+	n.Crash()
+	if n.VMsLost() != 0 {
+		t.Errorf("crash of an off node lost %d VMs", n.VMsLost())
+	}
+
+	// A node caught Restoring loses nothing: its images are still on disk.
+	n = NewNode(Xeon())
+	n.SetActiveVMs(2)
+	n.PowerOn()
+	n.Step(time.Minute)
+	n.Crash()
+	if n.VMsLost() != 0 {
+		t.Errorf("crash during restore lost %d VMs; images persist", n.VMsLost())
+	}
+}
+
+func TestClusterCrashVersusShutdown(t *testing.T) {
+	boot := func() *Cluster {
+		c := NewCluster(Xeon(), 2)
+		c.SetTargetVMs(4)
+		for i := 0; i < 10; i++ {
+			c.Step(time.Minute)
+		}
+		return c
+	}
+
+	c := boot()
+	if c.RunningVMs() != 4 {
+		t.Fatalf("running VMs = %d, want 4", c.RunningVMs())
+	}
+	c.Crash()
+	if c.VMsLost() != 4 || c.VMsSaved() != 0 {
+		t.Errorf("crash lost %d saved %d, want 4/0", c.VMsLost(), c.VMsSaved())
+	}
+	if c.Power() != 0 || c.TargetVMs() != 0 {
+		t.Error("crashed cluster should be dark with no target")
+	}
+
+	// The orderly path saves everything instead.
+	c = boot()
+	c.Shutdown()
+	for i := 0; i < 10; i++ {
+		c.Step(time.Minute)
+	}
+	if c.VMsSaved() != 4 || c.VMsLost() != 0 {
+		t.Errorf("shutdown saved %d lost %d, want 4/0", c.VMsSaved(), c.VMsLost())
+	}
+}

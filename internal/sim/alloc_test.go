@@ -120,3 +120,29 @@ func TestTickWithManagerAllocBound(t *testing.T) {
 		t.Fatalf("managed System.Tick allocates %.2f times per call, want <= 0.5", n)
 	}
 }
+
+// TestTickWithSurvivalAllocBound attaches the survivability mode machine
+// (including its forecast estimator and the horizon scans it runs every
+// control pass) and holds the managed tick to the same amortised bound:
+// the emergency ladder must cost the hot path nothing at steady state.
+func TestTickWithSurvivalAllocBound(t *testing.T) {
+	cfg := sim.DefaultConfig(trace.FullSystemHigh())
+	sys, err := sim.New(cfg, sim.NewSeismicSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := core.DefaultConfig()
+	mcfg.Survival = core.DefaultSurvivalConfig()
+	mgr := core.New(mcfg, cfg.BatteryCount)
+	sys.AttachTelemetry(telemetry.NewRegistry())
+	for tod := 5 * time.Hour; tod < 8*time.Hour; tod += cfg.Step {
+		sys.Tick(tod, mgr)
+	}
+	tod := 8 * time.Hour
+	if n := testing.AllocsPerRun(3000, func() {
+		sys.Tick(tod, mgr)
+		tod += cfg.Step
+	}); n > 0.5 {
+		t.Fatalf("survival-managed System.Tick allocates %.2f times per call, want <= 0.5", n)
+	}
+}

@@ -472,10 +472,15 @@ func (s *System) Tick(tod time.Duration, mgr Manager) {
 				if s.tel != nil {
 					s.tel.brownouts.Inc()
 				}
-				s.Cluster.Shutdown()
+				// The inverter trips: this is a power cut, not a control
+				// action. Nodes caught running or mid-checkpoint lose their
+				// uncheckpointed VM state (§2.3's service disruption) — the
+				// survivability layer exists to shed load and checkpoint
+				// *before* this instant arrives.
+				s.Cluster.Crash()
 				s.shortfallFor = 0
 				s.Log.Addf(tod, logbook.Emergency, "bus",
-					"brownout: %.0f W deficit unserved, cluster shutdown", float64(deficit))
+					"brownout: %.0f W deficit unserved, cluster crashed", float64(deficit))
 			}
 		} else {
 			s.shortfallFor = 0
@@ -600,6 +605,12 @@ type Result struct {
 	VoltStdDev   float64
 	Brownouts    int
 
+	// Survivability accounting: VM images whose checkpoint completed, and
+	// VMs destroyed by power loss before their state was safe (the paper's
+	// in-flight data loss a brownout causes).
+	VMsSaved int
+	VMsLost  int
+
 	// Energy-flow accounting.
 	HarvestedKWh float64
 	CurtailedKWh float64
@@ -609,10 +620,11 @@ type Result struct {
 	WearAhPerUnit units.AmpHour
 
 	// Secondary-power accounting (zero when no backup is fitted).
-	GenStarts   int
-	GenRunHours float64
-	GenKWh      float64
-	GenFuelCost float64
+	GenStarts    int
+	GenRunHours  float64
+	GenKWh       float64
+	GenFuelCost  float64
+	GenWastedKWh float64 // energy dumped holding the min-load floor
 
 	// AuxKWh is the auxiliary renewable (wind) generation over the run.
 	AuxKWh float64
@@ -634,6 +646,8 @@ func (s *System) result(mgr Manager) Result {
 		EndVolt:      s.endVolt,
 		VoltStdDev:   s.voltSeries.StdDev(),
 		Brownouts:    s.brownouts,
+		VMsSaved:     s.Cluster.VMsSaved(),
+		VMsLost:      s.Cluster.VMsLost(),
 		HarvestedKWh: s.harvested.KWh(),
 		CurtailedKWh: s.curtailed.KWh(),
 		WearSpreadAh: s.Bank.ThroughputSpread(),
@@ -660,6 +674,7 @@ func (s *System) result(mgr Manager) Result {
 		r.GenRunHours = s.Secondary.RunTime().Hours()
 		r.GenKWh = s.Secondary.Delivered().KWh()
 		r.GenFuelCost = s.Secondary.FuelCost()
+		r.GenWastedKWh = s.Secondary.Wasted().KWh()
 	}
 	r.AuxKWh = s.auxEnergy.KWh()
 	r.ServiceLifeYear = s.cfg.CalendarLifeYears

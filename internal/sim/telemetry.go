@@ -6,6 +6,7 @@ import (
 
 	"insure/internal/modbus"
 	"insure/internal/telemetry"
+	"insure/internal/workload"
 )
 
 // telemetryHooks holds the pre-registered instruments the tick path writes.
@@ -22,6 +23,20 @@ type telemetryHooks struct {
 	load        *telemetry.Gauge
 	stored      *telemetry.Gauge
 	relayCycles *telemetry.Gauge
+
+	vmsSaved *telemetry.Gauge
+	vmsLost  *telemetry.Gauge
+
+	// Workload-queue visibility: the shedding decisions the survivability
+	// layer takes are only observable if the queues they starve are too.
+	// Exactly one pair is non-nil, matching the sink the system runs.
+	streamBacklog *telemetry.Gauge
+	streamDropped *telemetry.Gauge
+	batchBacklog  *telemetry.Gauge
+	batchLatency  *telemetry.Gauge
+
+	streamQ *workload.StreamQueue
+	batchQ  *workload.BatchQueue
 
 	brownouts    *telemetry.Counter
 	deficitTicks *telemetry.Counter
@@ -52,6 +67,24 @@ func (s *System) AttachTelemetry(reg *telemetry.Registry) {
 		"Energy held in the battery bank, watt-hours.")
 	t.relayCycles = reg.Gauge("insure_relay_cycles",
 		"Total mechanical switching cycles consumed across the relay fabric.")
+	t.vmsSaved = reg.Gauge("insure_vm_checkpoints_completed",
+		"VM images whose checkpoint completed before power-off, lifetime total.")
+	t.vmsLost = reg.Gauge("insure_vms_lost",
+		"VMs destroyed by power loss before their state was checkpointed, lifetime total.")
+	switch sink := s.Sink.(type) {
+	case *StreamSink:
+		t.streamQ = sink.Queue
+		t.streamBacklog = reg.Gauge("insure_stream_backlog_gb",
+			"Stream data waiting for service, gigabytes.")
+		t.streamDropped = reg.Gauge("insure_stream_dropped_gb",
+			"Stream data lost to buffer overflow, gigabytes, lifetime total.")
+	case *BatchSink:
+		t.batchQ = sink.Queue
+		t.batchBacklog = reg.Gauge("insure_batch_backlog_gb",
+			"Unprocessed batch job data, gigabytes.")
+		t.batchLatency = reg.Gauge("insure_batch_latency_minutes",
+			"Mean arrival-to-completion latency of finished batch jobs, minutes.")
+	}
 	t.brownouts = reg.Counter("insure_brownouts_total",
 		"Forced cluster shutdowns from sustained supply collapse.")
 	t.deficitTicks = reg.Counter("insure_power_deficit_ticks_total",
@@ -80,6 +113,11 @@ func (s *System) AttachTelemetry(reg *telemetry.Registry) {
 		c.RegisterTelemetry(reg)
 	}
 
+	// A fitted backup generator brings its own instruments (genset package).
+	if s.Secondary != nil {
+		s.Secondary.AttachTelemetry(reg)
+	}
+
 	s.tel = t
 }
 
@@ -92,6 +130,16 @@ func (t *telemetryHooks) publish(s *System, tod time.Duration) {
 	t.load.Set(float64(s.loadNow))
 	t.stored.Set(float64(s.Bank.StoredEnergy()))
 	t.relayCycles.Set(float64(s.Fabric.TotalCycles()))
+	t.vmsSaved.Set(float64(s.Cluster.VMsSaved()))
+	t.vmsLost.Set(float64(s.Cluster.VMsLost()))
+	if t.streamQ != nil {
+		t.streamBacklog.Set(t.streamQ.Backlog())
+		t.streamDropped.Set(t.streamQ.DroppedGB())
+	}
+	if t.batchQ != nil {
+		t.batchBacklog.Set(t.batchQ.PendingGB())
+		t.batchLatency.Set(t.batchQ.MeanLatency().Minutes())
+	}
 	for i, g := range t.soc {
 		u := s.Bank.Unit(i)
 		g.Set(u.SoC())

@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"insure/internal/core"
+	"insure/internal/genset"
 	"insure/internal/sim"
 	"insure/internal/telemetry"
+	"insure/internal/telemetry/promtest"
 	"insure/internal/trace"
 )
 
@@ -114,5 +116,59 @@ func TestTelemetrySurvivesBrownout(t *testing.T) {
 	}
 	if snap.Counters["insure_power_deficit_ticks_total"] == 0 {
 		t.Error("deficit ticks counter never advanced")
+	}
+}
+
+// TestSurvivalSeriesExposition gates the survivability telemetry contract:
+// a survival-managed, genset-fitted plant on the paper's low-generation day
+// must publish every emergency series — ladder rung, transition count, shed
+// depth, the full generator group, and the checkpoint/loss accounting —
+// through the strict Prometheus exposition parser.
+func TestSurvivalSeriesExposition(t *testing.T) {
+	cfg := sim.DefaultConfig(trace.LowGeneration())
+	cfg.Secondary = genset.New(genset.DieselParams())
+	sys, err := sim.New(cfg, sim.NewVideoSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := core.DefaultConfig()
+	mcfg.Survival = core.DefaultSurvivalConfig()
+	mgr := core.New(mcfg, cfg.BatteryCount)
+	reg := telemetry.NewRegistry()
+	sys.AttachTelemetry(reg)
+	mgr.AttachTelemetry(reg)
+
+	for tod := 5 * time.Hour; tod < 12*time.Hour; tod += cfg.Step {
+		sys.Tick(tod, mgr)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, s := range promtest.Parse(t, strings.NewReader(sb.String())) {
+		found[s.Name] = true
+	}
+	for _, want := range []string{
+		"insure_survival_mode",
+		"insure_survival_transitions_total",
+		"insure_survival_shed_watts",
+		"insure_genset_starts_total",
+		"insure_genset_running",
+		"insure_genset_output_watts",
+		"insure_genset_run_hours",
+		"insure_genset_fuel_dollars",
+		"insure_genset_delivered_watt_hours",
+		"insure_genset_wasted_watt_hours",
+		"insure_vm_checkpoints_completed",
+		"insure_vms_lost",
+		"insure_stream_backlog_gb",
+		"insure_stream_dropped_gb",
+		"insure_brownouts_total",
+	} {
+		if !found[want] {
+			t.Errorf("exposition missing series %q", want)
+		}
 	}
 }
