@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival vet check bench bench-json experiments clean
+.PHONY: all build test race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival vet check bench bench-json bench-scaling perf-diff experiments clean
 
 all: build
 
@@ -63,12 +63,20 @@ smoke-survival:
 race-survival:
 	$(GO) test -race -count=1 -run 'TestStorm' -v ./internal/chaos
 
+# bench-scaling measures the plant-years/sec workers-scaling curve on a
+# short campaign and enforces the speedup gate: on N >= 2 cores, speedup at
+# N workers must reach 0.7*N or the target fails. On a single-core machine
+# the gate is reported as skipped (it cannot pass vacuously).
+bench-scaling:
+	$(GO) run ./cmd/insure-bench -scaling -gate -scaling-cells 8
+
 # check is the CI gate: static analysis, a clean build, the full test suite
 # under the race detector (the parallel experiment engine and campaign
 # runner are exercised concurrently there), the injected-fault smoke
 # simulation, the telemetry-plane smoke test, the crash-recovery chaos
-# campaigns, and the energy-emergency survivability gates.
-check: vet build race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival
+# campaigns, the energy-emergency survivability gates, and the multicore
+# scaling gate.
+check: vet build race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival bench-scaling
 
 # bench runs the simulation hot-path and experiment benchmarks.
 bench:
@@ -78,10 +86,17 @@ bench:
 bench-json:
 	$(GO) run ./cmd/insure-bench -bench-json BENCH.json
 
+# perf-diff regenerates the performance report into BENCH.new.json and
+# compares it against the committed BENCH.json, printing ns/op regressions
+# beyond 5% on the hot-path benchmarks.
+perf-diff:
+	$(GO) run ./cmd/insure-bench -bench-json BENCH.new.json
+	$(GO) run ./cmd/insure-bench -perf-diff BENCH.new.json -perf-base BENCH.json
+
 # experiments regenerates every table/figure of the paper on the parallel
 # engine (byte-identical to the serial engine).
 experiments:
 	$(GO) run ./cmd/insure-bench -exp all
 
 clean:
-	rm -f BENCH.json
+	rm -f BENCH.json BENCH.new.json

@@ -1,0 +1,27 @@
+// Regression bound for the instrumented-tick memory profile (see the
+// "Batch engine" notes in DESIGN.md): the steady-state tick is 0 allocs/op,
+// and with the recorder reset at each simulated-day wrap it is 0 bytes/op
+// too. BENCH.json's historical 41 B/op came from exactly one source — the
+// benchmark loop replaying the same day forever, growing the recorder past
+// its one-day pre-size — so this test pins both numbers to keep either leak
+// from creeping back.
+package insure
+
+import (
+	"testing"
+)
+
+func TestSystemTickAllocBytesBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full benchmark")
+	}
+	r := testing.Benchmark(BenchmarkSystemTick)
+	if allocs := r.AllocsPerOp(); allocs != 0 {
+		t.Errorf("instrumented tick allocates %d times/op, want 0", allocs)
+	}
+	// The bound is 1 byte/op of slack, not 41: with the day-wrap reset in
+	// place nothing on the tick path may grow without bound.
+	if bytes := r.AllocedBytesPerOp(); bytes > 1 {
+		t.Errorf("instrumented tick allocates %d bytes/op, want <= 1 (amortized growth has crept back in)", bytes)
+	}
+}

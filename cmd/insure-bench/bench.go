@@ -36,12 +36,16 @@ type engineTiming struct {
 
 // benchReport is the BENCH.json document.
 type benchReport struct {
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	NumCPU     int          `json:"num_cpu"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Benchmarks []benchCase  `json:"benchmarks"`
-	Engine     engineTiming `json:"experiment_engine"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// PlantYearsPerSec is the headline throughput number: the best
+	// plant-years/sec achieved anywhere on the campaign-scaling matrix.
+	PlantYearsPerSec float64         `json:"plant_years_per_sec"`
+	Benchmarks       []benchCase     `json:"benchmarks"`
+	Engine           engineTiming    `json:"experiment_engine"`
+	CampaignScaling  campaignScaling `json:"campaign_scaling"`
 }
 
 // record converts a testing.BenchmarkResult, carrying through any domain
@@ -64,9 +68,10 @@ func record(name string, r testing.BenchmarkResult) benchCase {
 }
 
 // writeBenchJSON runs the performance suite — the simulation hot path, a
-// full-day macro run with domain metrics, and a serial-vs-parallel timing of
-// the whole evaluation — and writes the machine-readable report.
-func writeBenchJSON(path string, workers int) error {
+// full-day macro run with domain metrics, a serial-vs-parallel timing of
+// the whole evaluation, and the campaign-scaling matrix — and writes the
+// machine-readable report.
+func writeBenchJSON(path string, workers, scalingCells int) error {
 	rep := benchReport{
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -105,6 +110,17 @@ func writeBenchJSON(path string, workers int) error {
 			len(serialTables), len(parallelTables))
 	}
 
+	fmt.Fprintln(os.Stderr, "measuring campaign scaling...")
+	rep.CampaignScaling, err = measureScaling(scalingCells)
+	if err != nil {
+		return err
+	}
+	for _, pt := range rep.CampaignScaling.Points {
+		if pt.PlantYearsPerSec > rep.PlantYearsPerSec {
+			rep.PlantYearsPerSec = pt.PlantYearsPerSec
+		}
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -118,9 +134,10 @@ func writeBenchJSON(path string, workers int) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (tick %.0f ns/op, %d allocs/op; engine speedup %.2fx on %d workers)\n",
+	fmt.Fprintf(os.Stderr, "wrote %s (tick %.0f ns/op, %d allocs/op; %.4f plant-years/sec; engine speedup %.2fx on %d workers; gate %s)\n",
 		path, rep.Benchmarks[0].NsPerOp, rep.Benchmarks[0].AllocsPerOp,
-		rep.Engine.Speedup, rep.Engine.Workers)
+		rep.PlantYearsPerSec, rep.Engine.Speedup, rep.Engine.Workers,
+		rep.CampaignScaling.Gate.Status)
 	return nil
 }
 
@@ -139,6 +156,12 @@ func benchSystemTick(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tod := 8*time.Hour + time.Duration(i%40000)*time.Second
+		if tod == 8*time.Hour {
+			// Day wrap: drop the previous "day's" frames. Without this the
+			// recorder grows past its one-day pre-size forever, and the
+			// amortized slice growth shows up as ~41 B/op at 0 allocs/op.
+			sys.Recorder().Reset()
+		}
 		sys.Tick(tod, mgr)
 	}
 }

@@ -7,6 +7,9 @@
 //	insure-bench -list             # list experiment IDs
 //	insure-bench -parallel=false   # force the serial engine
 //	insure-bench -bench-json BENCH.json   # machine-readable perf suite
+//	insure-bench -scaling          # plant-years/sec workers-scaling curve
+//	insure-bench -scaling -gate    # same, exit 1 if speedup < 0.7·N (N ≥ 2 cores)
+//	insure-bench -perf-diff BENCH.new.json   # compare against committed BENCH.json
 package main
 
 import (
@@ -29,6 +32,11 @@ func main() {
 	parallel := flag.Bool("parallel", true, "run 'all' on a worker pool (output is byte-identical to serial)")
 	workers := flag.Int("workers", 0, "worker pool size for -parallel; 0 = GOMAXPROCS")
 	benchJSON := flag.String("bench-json", "", "run the performance suite and write machine-readable results to this path")
+	scaling := flag.Bool("scaling", false, "measure the plant-years/sec workers-scaling curve and print it")
+	gate := flag.Bool("gate", false, "with -scaling: exit non-zero when speedup at N workers is < 0.7*N (N >= 2 cores)")
+	scalingCells := flag.Int("scaling-cells", 16, "full-day campaign cells per scaling measurement")
+	perfDiff := flag.String("perf-diff", "", "compare this BENCH.json against -perf-base and report regressions > 5%")
+	perfBase := flag.String("perf-base", "BENCH.json", "baseline report for -perf-diff")
 	flag.Parse()
 
 	if *list {
@@ -37,8 +45,20 @@ func main() {
 		}
 		return
 	}
+	if *perfDiff != "" {
+		if _, err := runPerfDiff(*perfBase, *perfDiff); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *scaling {
+		if err := runScaling(*scalingCells, *gate); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *workers); err != nil {
+		if err := writeBenchJSON(*benchJSON, *workers, *scalingCells); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// perf-diff compares a freshly generated BENCH.json against a committed
+// baseline and reports per-benchmark ns/op regressions beyond a threshold.
+// It is a review aid, not a CI gate: wall-clock numbers shift with the host,
+// so the verdict is advisory and printed, while structural regressions
+// (allocs/op increases) are always flagged.
+
+// perfDiffThreshold is the relative ns/op slowdown that counts as a
+// regression.
+const perfDiffThreshold = 0.05
+
+// perfDiffCases are the benchmarks compared; these are the stable hot-path
+// names present in every BENCH.json since the suite existed.
+var perfDiffCases = []string{"system_tick", "plc_scan", "full_day_insure"}
+
+func loadBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func (r *benchReport) benchCase(name string) *benchCase {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// runPerfDiff prints a comparison of newPath against basePath and returns
+// the number of regressions found (ns/op beyond the threshold, or any
+// allocs/op increase).
+func runPerfDiff(basePath, newPath string) (int, error) {
+	base, err := loadBenchReport(basePath)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := loadBenchReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	fmt.Printf("perf-diff: %s (base) vs %s (new)\n", basePath, newPath)
+	fmt.Printf("%-18s %12s %12s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	regressions := 0
+	for _, name := range perfDiffCases {
+		b, c := base.benchCase(name), cur.benchCase(name)
+		if b == nil || c == nil {
+			fmt.Printf("%-18s missing from %s\n", name, map[bool]string{true: basePath, false: newPath}[c != nil])
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		mark := ""
+		if delta > perfDiffThreshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-18s %12.0f %12.0f %+7.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, delta*100, mark)
+		if c.AllocsPerOp > b.AllocsPerOp {
+			fmt.Printf("%-18s allocs/op rose %d -> %d  REGRESSION\n", name, b.AllocsPerOp, c.AllocsPerOp)
+			regressions++
+		}
+	}
+	if cur.PlantYearsPerSec > 0 && base.PlantYearsPerSec > 0 {
+		fmt.Printf("%-18s %12.4f %12.4f %+7.1f%%\n", "plant-years/sec",
+			base.PlantYearsPerSec, cur.PlantYearsPerSec,
+			(cur.PlantYearsPerSec-base.PlantYearsPerSec)/base.PlantYearsPerSec*100)
+	}
+	if regressions == 0 {
+		fmt.Printf("no regressions beyond %.0f%%\n", perfDiffThreshold*100)
+	} else {
+		fmt.Printf("%d regression(s) beyond %.0f%%\n", regressions, perfDiffThreshold*100)
+	}
+	return regressions, nil
+}

@@ -162,8 +162,11 @@ func main() {
 	// setup builds one fully-wired run; the returned System and Manager are
 	// also recorded in *out/*outMgr so the dump flags and the fault report
 	// can read them afterwards.
-	setup := func(name string, out **sim.System, outMgr *sim.Manager, outReg **telemetry.Registry) func() (*sim.System, sim.Manager, error) {
-		return func() (*sim.System, sim.Manager, error) {
+	// The Systems deliberately escape the campaign cells (dump/report read
+	// them afterwards), so these runs are NOT Transient and ignore the
+	// worker arena.
+	setup := func(name string, out **sim.System, outMgr *sim.Manager, outReg **telemetry.Registry) func(*sim.Arena) (*sim.System, sim.Manager, error) {
+		return func(*sim.Arena) (*sim.System, sim.Manager, error) {
 			cfg := sim.DefaultConfig(tr)
 			cfg.BatteryCount = *batteries
 			cfg.ServerCount = *servers
@@ -241,7 +244,7 @@ func main() {
 		var sys *sim.System
 		var mgr sim.Manager
 		var reg *telemetry.Registry
-		s, m, err := setup(name, &sys, &mgr, &reg)()
+		s, m, err := setup(name, &sys, &mgr, &reg)(nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,9 +8,25 @@ import (
 )
 
 // Bank is the distributed battery array: an indexed set of units that the
-// relay fabric connects to the charge or discharge bus individually.
+// relay fabric connects to the charge or discharge bus individually. A bank
+// is a contiguous view over a BankSoA store — its own store normally, or a
+// shared slice of a fleet-wide store (NewBankFleet) when many plants run in
+// one process.
 type Bank struct {
-	units []*Unit
+	soa   *BankSoA
+	base  int    // first store slot owned by this bank
+	units []Unit // handle per slot, contiguous
+	ptrs  []*Unit
+}
+
+// newBankView wires a bank over store slots [base, base+n).
+func newBankView(s *BankSoA, base, n int) *Bank {
+	b := &Bank{soa: s, base: base, units: make([]Unit, n), ptrs: make([]*Unit, n)}
+	for i := range b.units {
+		b.units[i] = Unit{s: s, i: base + i}
+		b.ptrs[i] = &b.units[i]
+	}
+	return b
 }
 
 // NewBank builds a bank of n identical units at the given initial SoC.
@@ -18,15 +34,11 @@ func NewBank(p Params, n int, soc float64) (*Bank, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("battery: bank size %d must be positive", n)
 	}
-	b := &Bank{units: make([]*Unit, n)}
-	for i := range b.units {
-		u, err := New(p, soc)
-		if err != nil {
-			return nil, err
-		}
-		b.units[i] = u
+	s, err := NewBankSoA(p, n, soc)
+	if err != nil {
+		return nil, err
 	}
-	return b, nil
+	return newBankView(s, 0, n), nil
 }
 
 // MustNewBank is NewBank for known-good parameters; it panics on error.
@@ -38,20 +50,45 @@ func MustNewBank(p Params, n int, soc float64) *Bank {
 	return b
 }
 
+// NewBankFleet builds one bank per plant, all backed by a single shared
+// store so a fleet's battery state is one contiguous block of memory. Plant
+// i owns store slots [i·unitsPer, (i+1)·unitsPer). The banks are fully
+// independent operationally — the shared store is a memory layout, not a
+// coupling — and stepping them interleaved is bit-identical to stepping
+// per-plant stores.
+func NewBankFleet(p Params, plants, unitsPer int, soc float64) ([]*Bank, *BankSoA, error) {
+	if plants <= 0 || unitsPer <= 0 {
+		return nil, nil, fmt.Errorf("battery: fleet of %d plants × %d units must be positive", plants, unitsPer)
+	}
+	s, err := NewBankSoA(p, plants*unitsPer, soc)
+	if err != nil {
+		return nil, nil, err
+	}
+	banks := make([]*Bank, plants)
+	for i := range banks {
+		banks[i] = newBankView(s, i*unitsPer, unitsPer)
+	}
+	return banks, s, nil
+}
+
+// SoA returns the store backing this bank. For a fleet bank the store spans
+// every plant in the fleet, not just this bank's slots.
+func (b *Bank) SoA() *BankSoA { return b.soa }
+
 // Size returns the number of units in the bank.
 func (b *Bank) Size() int { return len(b.units) }
 
 // Unit returns unit i.
-func (b *Bank) Unit(i int) *Unit { return b.units[i] }
+func (b *Bank) Unit(i int) *Unit { return &b.units[i] }
 
-// Units returns the underlying units slice (shared, not copied).
-func (b *Bank) Units() []*Unit { return b.units }
+// Units returns the bank's unit handles (shared, not copied).
+func (b *Bank) Units() []*Unit { return b.ptrs }
 
 // StoredEnergy totals the energy held across all units.
 func (b *Bank) StoredEnergy() units.WattHour {
 	var e units.WattHour
-	for _, u := range b.units {
-		e += u.StoredEnergy()
+	for i := range b.units {
+		e += b.units[i].StoredEnergy()
 	}
 	return e
 }
@@ -59,9 +96,10 @@ func (b *Bank) StoredEnergy() units.WattHour {
 // MeanSoC is the capacity-weighted average state of charge.
 func (b *Bank) MeanSoC() float64 {
 	var s, c float64
-	for _, u := range b.units {
-		s += u.SoC() * float64(u.p.CapacityAh)
-		c += float64(u.p.CapacityAh)
+	for i := range b.units {
+		u := &b.units[i]
+		s += u.SoC() * float64(u.s.p.CapacityAh)
+		c += float64(u.s.p.CapacityAh)
 	}
 	if c == 0 {
 		return 0
@@ -72,8 +110,8 @@ func (b *Bank) MeanSoC() float64 {
 // TotalThroughput sums wear-weighted throughput across units.
 func (b *Bank) TotalThroughput() units.AmpHour {
 	var t units.AmpHour
-	for _, u := range b.units {
-		t += u.Throughput()
+	for i := range b.units {
+		t += b.units[i].Throughput()
 	}
 	return t
 }
@@ -85,8 +123,8 @@ func (b *Bank) ThroughputSpread() units.AmpHour {
 		return 0
 	}
 	min, max := b.units[0].Throughput(), b.units[0].Throughput()
-	for _, u := range b.units[1:] {
-		if t := u.Throughput(); t < min {
+	for i := 1; i < len(b.units); i++ {
+		if t := b.units[i].Throughput(); t < min {
 			min = t
 		} else if t > max {
 			max = t
@@ -95,10 +133,16 @@ func (b *Bank) ThroughputSpread() units.AmpHour {
 	return max - min
 }
 
-// RestAll advances every unit with no current flowing.
+// RestAll advances every unit with no current flowing. When the bank owns
+// its whole store this is the flat batch loop; a fleet-slice bank steps just
+// its own span (same kernel, same results).
 func (b *Bank) RestAll(dt time.Duration) {
-	for _, u := range b.units {
-		u.Rest(dt)
+	if b.base == 0 && len(b.units) == b.soa.Len() {
+		b.soa.RestAll(dt)
+		return
+	}
+	for i := range b.units {
+		b.units[i].Rest(dt)
 	}
 }
 
@@ -112,7 +156,7 @@ func (b *Bank) DischargeSet(idx []int, p units.Watt, dt time.Duration) units.Wat
 	var delivered units.WattHour
 	share := p / units.Watt(len(idx))
 	for _, i := range idx {
-		u := b.units[i]
+		u := &b.units[i]
 		v := u.TerminalVoltage()
 		if v <= 0 {
 			continue

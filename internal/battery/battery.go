@@ -18,6 +18,15 @@
 // bound well connected by a diffusion-rate valve. Property 3 is reproduced
 // with an SoC-dependent acceptance limit plus a per-connected-unit gassing
 // overhead.
+//
+// Storage layout: unit state lives in a structure-of-arrays BankSoA store —
+// parallel slices of wells, currents, and wear counters — and Unit is a
+// (store, index) handle into it. A bank's units are therefore contiguous in
+// memory and a fleet of banks can share one store (NewBankFleet), which is
+// what lets a batch tick over many plants walk flat arrays instead of
+// chasing per-unit heap objects. The Unit/Bank API is unchanged; the scalar
+// math is expression-for-expression the same as the former per-object
+// layout, so stepping through handles is bit-identical to the old path.
 package battery
 
 import (
@@ -132,41 +141,84 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// Unit is one battery cabinet: a KiBaM cell plus wear accounting and the
-// instrumentation state a transducer can observe.
-type Unit struct {
+// BankSoA is the structure-of-arrays store behind Unit and Bank: one parallel
+// slice per state variable, so the units of a bank — or of a whole fleet of
+// banks sharing the store — sit contiguously in memory and a batch step walks
+// flat arrays. All units in a store share one Params (the prototype's banks
+// are homogeneous); per-unit state that faults can skew (capacity loss) stays
+// per-index.
+type BankSoA struct {
 	p Params
 
 	// KiBaM wells, in amp-hours.
-	avail float64 // y1: immediately extractable charge
-	bound float64 // y2: chemically bound charge
+	avail []float64 // y1: immediately extractable charge
+	bound []float64 // y2: chemically bound charge
 
-	lastI units.Amp // signed: + discharge, − charge (for terminal voltage)
+	lastI []units.Amp // signed: + discharge, − charge (for terminal voltage)
 
-	throughput units.AmpHour // lifetime discharge Ah (wear-weighted)
-	rawOut     units.AmpHour // unweighted Ah delivered over life
-	rawIn      units.AmpHour // unweighted Ah absorbed over life
-	cycles     float64       // full-capacity-equivalent cycles
+	throughput []units.AmpHour // lifetime discharge Ah (wear-weighted)
+	rawOut     []units.AmpHour // unweighted Ah delivered over life
+	rawIn      []units.AmpHour // unweighted Ah absorbed over life
+	cycles     []float64       // full-capacity-equivalent cycles
 
 	// faultLoss is the capacity fraction destroyed by an injected hardware
 	// fault (shorted cells); zero on a healthy unit.
-	faultLoss float64
+	faultLoss []float64
 }
 
-// New returns a Unit at the given initial state of charge.
-func New(p Params, soc float64) (*Unit, error) {
+// NewBankSoA allocates a store of n units at the given initial state of
+// charge.
+func NewBankSoA(p Params, n int, soc float64) (*BankSoA, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("battery: store size %d must be positive", n)
 	}
 	if soc < 0 || soc > 1 {
 		return nil, fmt.Errorf("battery: initial SoC %v out of [0,1]", soc)
 	}
 	cap := float64(p.CapacityAh)
-	return &Unit{
-		p:     p,
-		avail: soc * cap * p.CapacityRatio,
-		bound: soc * cap * (1 - p.CapacityRatio),
-	}, nil
+	s := &BankSoA{
+		p:          p,
+		avail:      make([]float64, n),
+		bound:      make([]float64, n),
+		lastI:      make([]units.Amp, n),
+		throughput: make([]units.AmpHour, n),
+		rawOut:     make([]units.AmpHour, n),
+		rawIn:      make([]units.AmpHour, n),
+		cycles:     make([]float64, n),
+		faultLoss:  make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		s.avail[i] = soc * cap * p.CapacityRatio
+		s.bound[i] = soc * cap * (1 - p.CapacityRatio)
+	}
+	return s, nil
+}
+
+// Len returns the number of unit slots in the store.
+func (s *BankSoA) Len() int { return len(s.avail) }
+
+// Params returns the store's shared unit configuration.
+func (s *BankSoA) Params() Params { return s.p }
+
+// Unit is one battery cabinet: a handle onto one index of a BankSoA store.
+// Copies of a Unit alias the same state, so handles can be passed by value
+// or pointer interchangeably.
+type Unit struct {
+	s *BankSoA
+	i int
+}
+
+// New returns a standalone Unit at the given initial state of charge,
+// backed by its own single-slot store.
+func New(p Params, soc float64) (*Unit, error) {
+	s, err := NewBankSoA(p, 1, soc)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{s: s, i: 0}, nil
 }
 
 // MustNew is New for known-good parameters; it panics on error.
@@ -179,14 +231,14 @@ func MustNew(p Params, soc float64) *Unit {
 }
 
 // Params returns the unit's configuration.
-func (u *Unit) Params() Params { return u.p }
+func (u *Unit) Params() Params { return u.s.p }
 
 // capAh is the present usable capacity: nameplate reduced by linear aging
 // fade as wear accumulates toward the lifetime throughput, and by any
 // injected capacity-loss fault.
 func (u *Unit) capAh() float64 {
-	fade := u.p.FadeAtEOL * math.Min(u.WearFraction(), 1.5)
-	return float64(u.p.CapacityAh) * (1 - fade) * (1 - u.faultLoss)
+	fade := u.s.p.FadeAtEOL * math.Min(u.WearFraction(), 1.5)
+	return float64(u.s.p.CapacityAh) * (1 - fade) * (1 - u.s.faultLoss[u.i])
 }
 
 // InjectCapacityLoss destroys frac of the unit's capacity mid-operation —
@@ -199,14 +251,15 @@ func (u *Unit) InjectCapacityLoss(frac float64) {
 	if frac == 0 {
 		return
 	}
-	u.faultLoss = 1 - (1-u.faultLoss)*(1-frac)
+	s, i := u.s, u.i
+	s.faultLoss[i] = 1 - (1-s.faultLoss[i])*(1-frac)
 	keep := (1 - frac) * (1 - frac)
-	u.avail *= keep
-	u.bound *= keep
+	s.avail[i] *= keep
+	s.bound[i] *= keep
 }
 
 // Failed reports whether a capacity-loss fault has been injected.
-func (u *Unit) Failed() bool { return u.faultLoss > 0 }
+func (u *Unit) Failed() bool { return u.s.faultLoss[u.i] > 0 }
 
 // EffectiveCapacity is the present usable capacity after aging fade.
 func (u *Unit) EffectiveCapacity() units.AmpHour { return units.AmpHour(u.capAh()) }
@@ -214,74 +267,92 @@ func (u *Unit) EffectiveCapacity() units.AmpHour { return units.AmpHour(u.capAh(
 // SoC is the total state of charge in [0,1] counting both wells, against
 // the present (faded) capacity.
 func (u *Unit) SoC() float64 {
-	return units.Clamp((u.avail+u.bound)/u.capAh(), 0, 1)
+	return units.Clamp((u.s.avail[u.i]+u.s.bound[u.i])/u.capAh(), 0, 1)
 }
 
 // AvailableSoC is the normalised level of the available well only. Under
 // sustained high current it drops well below SoC — that gap is the
 // rate-capacity effect, and its closing at rest is the recovery effect.
 func (u *Unit) AvailableSoC() float64 {
-	denom := u.capAh() * u.p.CapacityRatio
-	return units.Clamp(u.avail/denom, 0, 1)
+	denom := u.capAh() * u.s.p.CapacityRatio
+	return units.Clamp(u.s.avail[u.i]/denom, 0, 1)
 }
 
 // StoredEnergy approximates the energy content at nominal voltage.
 func (u *Unit) StoredEnergy() units.WattHour {
-	return units.WattHour((u.avail + u.bound) * float64(u.p.NominalVolt))
+	return units.WattHour((u.s.avail[u.i] + u.s.bound[u.i]) * float64(u.s.p.NominalVolt))
 }
 
 // OCV is the rest (open-circuit) voltage implied by the available well.
 func (u *Unit) OCV() units.Volt {
-	return units.Volt(units.Lerp(float64(u.p.OCVEmpty), float64(u.p.OCVFull), u.AvailableSoC()))
+	return units.Volt(units.Lerp(float64(u.s.p.OCVEmpty), float64(u.s.p.OCVFull), u.AvailableSoC()))
 }
 
 // TerminalVoltage is what a transducer reads: OCV sagged or lifted by the
 // most recent current through the internal resistance.
 func (u *Unit) TerminalVoltage() units.Volt {
-	return units.Volt(float64(u.OCV()) - float64(u.lastI)*u.p.InternalOhm)
+	return units.Volt(float64(u.OCV()) - float64(u.s.lastI[u.i])*u.s.p.InternalOhm)
 }
 
 // BelowCutoff reports whether the protection threshold has been crossed.
-func (u *Unit) BelowCutoff() bool { return u.TerminalVoltage() < u.p.CutoffVolt }
+func (u *Unit) BelowCutoff() bool { return u.TerminalVoltage() < u.s.p.CutoffVolt }
 
 // Empty reports whether the available well is exhausted (the battery cannot
 // source current even though bound charge may remain).
-func (u *Unit) Empty() bool { return u.avail <= 1e-9 }
+func (u *Unit) Empty() bool { return u.s.avail[u.i] <= 1e-9 }
 
-// diffuse moves charge between the wells for dt seconds (KiBaM valve).
-func (u *Unit) diffuse(dtSec float64) {
-	c := u.p.CapacityRatio
-	h1 := u.avail / c
-	h2 := u.bound / (1 - c)
+// diffuse moves charge between the wells at index i for dt seconds (KiBaM
+// valve). This is the shared kernel of the per-unit and batch paths, so the
+// two are bit-identical by construction.
+func (s *BankSoA) diffuse(i int, dtSec float64, capAh float64) {
+	c := s.p.CapacityRatio
+	h1 := s.avail[i] / c
+	h2 := s.bound[i] / (1 - c)
 	// Closed-form relaxation of the head difference avoids Euler
 	// instability at large dt: Δh decays with rate k(1/c + 1/(1−c)).
-	kk := u.p.RateConst * (1/c + 1/(1-c))
+	kk := s.p.RateConst * (1/c + 1/(1-c))
 	delta := (h2 - h1) * (1 - math.Exp(-kk*dtSec))
 	// Convert head change back to charge moved (both wells see the same
 	// transferred charge q; h1 rises by q/c, h2 falls by q/(1−c)).
 	q := delta / (1/c + 1/(1-c))
-	u.avail += q
-	u.bound -= q
-	if u.avail < 0 {
-		u.avail = 0
+	s.avail[i] += q
+	s.bound[i] -= q
+	if s.avail[i] < 0 {
+		s.avail[i] = 0
 	}
-	if u.bound < 0 {
-		u.bound = 0
+	if s.bound[i] < 0 {
+		s.bound[i] = 0
 	}
-	capAh := u.capAh()
-	if u.avail > capAh*c {
-		u.avail = capAh * c
+	if s.avail[i] > capAh*c {
+		s.avail[i] = capAh * c
 	}
-	if u.bound > capAh*(1-c) {
-		u.bound = capAh * (1 - c)
+	if s.bound[i] > capAh*(1-c) {
+		s.bound[i] = capAh * (1 - c)
 	}
+}
+
+// capAhAt is capAh for slot i (the Unit method with the handle unwrapped).
+func (s *BankSoA) capAhAt(i int) float64 {
+	fade := s.p.FadeAtEOL * math.Min(float64(s.throughput[i])/float64(s.p.LifetimeAh), 1.5)
+	return float64(s.p.CapacityAh) * (1 - fade) * (1 - s.faultLoss[i])
 }
 
 // Rest advances the unit with no current flowing; only recovery diffusion
 // happens. The relay for this unit is open.
 func (u *Unit) Rest(dt time.Duration) {
-	u.lastI = 0
-	u.diffuse(dt.Seconds())
+	u.s.lastI[u.i] = 0
+	u.s.diffuse(u.i, dt.Seconds(), u.capAh())
+}
+
+// RestAll batch-steps every unit in the store with no current flowing — the
+// fleet tick's resting-lane loop. Equivalent (bit-for-bit) to calling Rest
+// on each unit in index order.
+func (s *BankSoA) RestAll(dt time.Duration) {
+	dtSec := dt.Seconds()
+	for i := range s.avail {
+		s.lastI[i] = 0
+		s.diffuse(i, dtSec, s.capAhAt(i))
+	}
 }
 
 // Discharge draws current i for dt and returns the charge actually
@@ -291,28 +362,29 @@ func (u *Unit) Discharge(i units.Amp, dt time.Duration) units.AmpHour {
 	if i < 0 {
 		panic("battery: negative discharge current")
 	}
+	s, k := u.s, u.i
 	dtSec := dt.Seconds()
 	want := float64(i) * dtSec / 3600 // Ah requested
 	got := want
-	if got > u.avail {
-		got = u.avail
+	if got > s.avail[k] {
+		got = s.avail[k]
 	}
-	u.avail -= got
-	u.diffuse(dtSec)
-	u.lastI = i
+	s.avail[k] -= got
+	s.diffuse(k, dtSec, u.capAh())
+	s.lastI[k] = i
 	if got < want {
 		// Partially delivered: the terminal voltage should reflect a
 		// collapsed available well under load.
-		u.lastI = units.Amp(got * 3600 / math.Max(dtSec, 1e-9))
+		s.lastI[k] = units.Amp(got * 3600 / math.Max(dtSec, 1e-9))
 	}
 
 	wear := got
-	if u.SoC() < u.p.DeepSoC {
-		wear *= u.p.DeepWearFactor
+	if u.SoC() < s.p.DeepSoC {
+		wear *= s.p.DeepWearFactor
 	}
-	u.throughput += units.AmpHour(wear)
-	u.rawOut += units.AmpHour(got)
-	u.cycles += got / float64(u.p.CapacityAh)
+	s.throughput[k] += units.AmpHour(wear)
+	s.rawOut[k] += units.AmpHour(got)
+	s.cycles[k] += got / float64(s.p.CapacityAh)
 	return units.AmpHour(got)
 }
 
@@ -340,35 +412,36 @@ func (u *Unit) Charge(i units.Amp, dt time.Duration) units.Amp {
 	if i < 0 {
 		panic("battery: negative charge current")
 	}
+	s, k := u.s, u.i
 	dtSec := dt.Seconds()
 	// Gassing overhead is drawn first whenever the unit sits on the charge
 	// bus; only the remainder does useful work.
-	gas := math.Min(float64(i), float64(u.p.GassingA))
-	useful := math.Min(float64(i)-gas, float64(u.p.Acceptance(u.SoC())))
+	gas := math.Min(float64(i), float64(s.p.GassingA))
+	useful := math.Min(float64(i)-gas, float64(s.p.Acceptance(u.SoC())))
 	if useful < 0 {
 		useful = 0
 	}
-	stored := useful * u.p.CoulombicEff * dtSec / 3600 // Ah
+	stored := useful * s.p.CoulombicEff * dtSec / 3600 // Ah
 
-	c := u.p.CapacityRatio
+	c := s.p.CapacityRatio
 	capAh := u.capAh()
 	// Charge enters the available well, then diffuses toward the bound well.
-	room := capAh*c - u.avail
+	room := capAh*c - s.avail[k]
 	if stored > room {
 		// Spill directly into the bound well when the available well tops
 		// out (absorption phase).
-		u.bound += stored - room
+		s.bound[k] += stored - room
 		stored = room
 	}
-	u.avail += stored
-	if u.bound > capAh*(1-c) {
-		u.bound = capAh * (1 - c)
+	s.avail[k] += stored
+	if s.bound[k] > capAh*(1-c) {
+		s.bound[k] = capAh * (1 - c)
 	}
-	u.diffuse(dtSec)
+	s.diffuse(k, dtSec, capAh)
 
 	drawn := units.Amp(gas + useful)
-	u.lastI = -drawn
-	u.rawIn += units.AmpHour(useful * dtSec / 3600)
+	s.lastI[k] = -drawn
+	s.rawIn[k] += units.AmpHour(useful * dtSec / 3600)
 	return drawn
 }
 
@@ -387,25 +460,25 @@ func (u *Unit) ChargeAtPower(p units.Watt, dt time.Duration) units.Watt {
 
 // chargeBusVoltage approximates the regulated charging voltage for the unit.
 func (u *Unit) chargeBusVoltage() units.Volt {
-	return units.Volt(float64(u.OCV()) + float64(u.p.MaxChargeA)*u.p.InternalOhm)
+	return units.Volt(float64(u.OCV()) + float64(u.s.p.MaxChargeA)*u.s.p.InternalOhm)
 }
 
 // Throughput returns the wear-weighted lifetime discharge throughput (the
 // AhT[i] statistic driving the paper's SPM screening, Fig 9).
-func (u *Unit) Throughput() units.AmpHour { return u.throughput }
+func (u *Unit) Throughput() units.AmpHour { return u.s.throughput[u.i] }
 
 // RawOut returns total unweighted charge delivered over the unit's life.
-func (u *Unit) RawOut() units.AmpHour { return u.rawOut }
+func (u *Unit) RawOut() units.AmpHour { return u.s.rawOut[u.i] }
 
 // RawIn returns total unweighted charge absorbed over the unit's life.
-func (u *Unit) RawIn() units.AmpHour { return u.rawIn }
+func (u *Unit) RawIn() units.AmpHour { return u.s.rawIn[u.i] }
 
 // EquivalentCycles returns full-capacity-equivalent discharge cycles.
-func (u *Unit) EquivalentCycles() float64 { return u.cycles }
+func (u *Unit) EquivalentCycles() float64 { return u.s.cycles[u.i] }
 
 // WearFraction is the consumed fraction of the unit's lifetime throughput.
 func (u *Unit) WearFraction() float64 {
-	return float64(u.throughput) / float64(u.p.LifetimeAh)
+	return float64(u.s.throughput[u.i]) / float64(u.s.p.LifetimeAh)
 }
 
 // RemainingLife estimates remaining service time given an average daily
@@ -414,7 +487,7 @@ func (u *Unit) RemainingLife(dailyAh units.AmpHour) time.Duration {
 	if dailyAh <= 0 {
 		return time.Duration(math.MaxInt64)
 	}
-	days := (float64(u.p.LifetimeAh) - float64(u.throughput)) / float64(dailyAh)
+	days := (float64(u.s.p.LifetimeAh) - float64(u.s.throughput[u.i])) / float64(dailyAh)
 	if days < 0 {
 		days = 0
 	}
@@ -426,9 +499,9 @@ func (u *Unit) RemainingLife(dailyAh units.AmpHour) time.Duration {
 func (u *Unit) SetSoC(soc float64) {
 	soc = units.Clamp(soc, 0, 1)
 	capAh := u.capAh()
-	u.avail = soc * capAh * u.p.CapacityRatio
-	u.bound = soc * capAh * (1 - u.p.CapacityRatio)
-	u.lastI = 0
+	u.s.avail[u.i] = soc * capAh * u.s.p.CapacityRatio
+	u.s.bound[u.i] = soc * capAh * (1 - u.s.p.CapacityRatio)
+	u.s.lastI[u.i] = 0
 }
 
 // Snapshot is an immutable view of the unit for recorders and sensors.
@@ -447,8 +520,8 @@ func (u *Unit) Snapshot() Snapshot {
 		SoC:          u.SoC(),
 		AvailableSoC: u.AvailableSoC(),
 		Terminal:     u.TerminalVoltage(),
-		LastCurrent:  u.lastI,
-		Throughput:   u.throughput,
+		LastCurrent:  u.s.lastI[u.i],
+		Throughput:   u.s.throughput[u.i],
 		StoredEnergy: u.StoredEnergy(),
 	}
 }

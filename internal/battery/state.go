@@ -28,28 +28,30 @@ type UnitState struct {
 
 // State captures the unit's full mutable state.
 func (u *Unit) State() UnitState {
+	s, i := u.s, u.i
 	return UnitState{
-		AvailAh:    u.avail,
-		BoundAh:    u.bound,
-		LastI:      u.lastI,
-		Throughput: u.throughput,
-		RawOut:     u.rawOut,
-		RawIn:      u.rawIn,
-		Cycles:     u.cycles,
-		FaultLoss:  u.faultLoss,
+		AvailAh:    s.avail[i],
+		BoundAh:    s.bound[i],
+		LastI:      s.lastI[i],
+		Throughput: s.throughput[i],
+		RawOut:     s.rawOut[i],
+		RawIn:      s.rawIn[i],
+		Cycles:     s.cycles[i],
+		FaultLoss:  s.faultLoss[i],
 	}
 }
 
 // Restore overwrites the unit's mutable state. Params are untouched.
 func (u *Unit) Restore(st UnitState) {
-	u.avail = st.AvailAh
-	u.bound = st.BoundAh
-	u.lastI = st.LastI
-	u.throughput = st.Throughput
-	u.rawOut = st.RawOut
-	u.rawIn = st.RawIn
-	u.cycles = st.Cycles
-	u.faultLoss = st.FaultLoss
+	s, i := u.s, u.i
+	s.avail[i] = st.AvailAh
+	s.bound[i] = st.BoundAh
+	s.lastI[i] = st.LastI
+	s.throughput[i] = st.Throughput
+	s.rawOut[i] = st.RawOut
+	s.rawIn[i] = st.RawIn
+	s.cycles[i] = st.Cycles
+	s.faultLoss[i] = st.FaultLoss
 }
 
 // AppendTo serializes the state bit-exactly into e.

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -25,7 +27,7 @@ func init() {
 
 // Fig4a reproduces the individual-vs-batch charging measurement: charging
 // the units one by one under a fixed power budget cuts total charge time.
-func Fig4a() *Table {
+func Fig4a(ctx context.Context) *Table {
 	const (
 		n      = 3
 		budget = units.Watt(150)
@@ -82,7 +84,7 @@ func boolToInt(b bool) int {
 
 // Fig4b reproduces the high-load vs low-load discharge measurement with the
 // capacity-recovery effect.
-func Fig4b() *Table {
+func Fig4b(ctx context.Context) *Table {
 	high := battery.MustNew(battery.DefaultParams(), 1.0)
 	low := battery.MustNew(battery.DefaultParams(), 1.0)
 	for i := 0; i < 45*60; i++ {
@@ -110,7 +112,7 @@ func Fig4b() *Table {
 
 // Fig5 reproduces the 2-hour seismic snapshot on the conventional unified
 // buffer: the whole battery pack gets switched out under load.
-func Fig5() *Table {
+func Fig5(ctx context.Context) *Table {
 	cfg := sim.DefaultConfig(trace.FullSystemLow())
 	cfg.InitialSoC = 0.45
 	sys, err := sim.New(cfg, sim.NewSeismicSink())
@@ -148,7 +150,7 @@ func fmtTod(d time.Duration) string {
 
 // Fig14a demonstrates fast charging: the SPM prioritises low-SoC units and
 // concentrates the budget on a subset.
-func Fig14a() *Table {
+func Fig14a(ctx context.Context) *Table {
 	cfg := sim.DefaultConfig(trace.FullSystemHigh())
 	sys, err := sim.New(cfg, sim.NewSeismicSink())
 	if err != nil {
@@ -188,7 +190,7 @@ func Fig14a() *Table {
 
 // Fig14b demonstrates discharge balancing: per-unit aggregated discharge
 // ends the day nearly equal.
-func Fig14b() *Table {
+func Fig14b(ctx context.Context) *Table {
 	cfg := sim.DefaultConfig(trace.FullSystemLow())
 	sys, err := sim.New(cfg, sim.NewVideoSink())
 	if err != nil {
@@ -215,7 +217,7 @@ func Fig14b() *Table {
 }
 
 // Fig15 regenerates the two evaluation solar traces.
-func Fig15() *Table {
+func Fig15(ctx context.Context) *Table {
 	hi, lo := trace.HighGeneration(), trace.LowGeneration()
 	t := &Table{
 		ID:     "fig15",
@@ -232,7 +234,7 @@ func Fig15() *Table {
 
 // Fig16 regenerates the full-day operation trace as an hourly summary with
 // the paper's characteristic regions.
-func Fig16() *Table {
+func Fig16(ctx context.Context) *Table {
 	cfg := sim.DefaultConfig(trace.FullSystemHigh())
 	cfg.RecordEvery = time.Minute
 	sys, err := sim.New(cfg, sim.NewSeismicSink())

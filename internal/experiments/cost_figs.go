@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"insure/internal/cost"
@@ -19,7 +21,7 @@ func init() {
 }
 
 // Fig1a regenerates the bulk-transfer time chart.
-func Fig1a() *Table {
+func Fig1a(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "fig1a",
 		Title:  "Data transfer time per TB by link class",
@@ -32,7 +34,7 @@ func Fig1a() *Table {
 }
 
 // Fig1b regenerates the AWS egress cost chart.
-func Fig1b() *Table {
+func Fig1b(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "fig1b",
 		Title:  "Average $/TB for data transfer out of AWS",
@@ -45,7 +47,7 @@ func Fig1b() *Table {
 }
 
 // Fig3a regenerates the IT-related TCO comparison.
-func Fig3a() *Table {
+func Fig3a(ctx context.Context) *Table {
 	a := cost.Default()
 	t := &Table{
 		ID:     "fig3a",
@@ -71,7 +73,7 @@ func Fig3a() *Table {
 }
 
 // Fig3b regenerates the energy-related TCO comparison.
-func Fig3b() *Table {
+func Fig3b(ctx context.Context) *Table {
 	a := cost.Default()
 	t := &Table{
 		ID:     "fig3b",
@@ -89,7 +91,7 @@ func Fig3b() *Table {
 }
 
 // Table1 echoes the energy cost parameters used throughout (inputs).
-func Table1() *Table {
+func Table1(ctx context.Context) *Table {
 	a := cost.Default()
 	return &Table{
 		ID:     "table1",
@@ -107,7 +109,7 @@ func Table1() *Table {
 }
 
 // Fig22 regenerates the annual depreciation breakdown.
-func Fig22() *Table {
+func Fig22(ctx context.Context) *Table {
 	a := cost.Default()
 	t := &Table{
 		ID:     "fig22",
@@ -135,7 +137,7 @@ func Fig22() *Table {
 }
 
 // Fig23 regenerates the scale-out vs cloud amortised cost chart.
-func Fig23() *Table {
+func Fig23(ctx context.Context) *Table {
 	a := cost.Default()
 	t := &Table{
 		ID:     "fig23",
@@ -154,7 +156,7 @@ func Fig23() *Table {
 }
 
 // Fig24 regenerates the TCO-vs-data-rate curves with the crossover.
-func Fig24() *Table {
+func Fig24(ctx context.Context) *Table {
 	a := cost.Default()
 	t := &Table{
 		ID:     "fig24",
@@ -177,7 +179,7 @@ func Fig24() *Table {
 }
 
 // Fig25 regenerates the application-scenario cost savings.
-func Fig25() *Table {
+func Fig25(ctx context.Context) *Table {
 	a := cost.Default()
 	t := &Table{
 		ID:     "fig25",

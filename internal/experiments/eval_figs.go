@@ -27,16 +27,18 @@ func init() {
 // the worker.
 func pairRuns(name string, tr *trace.Trace, mk func() sim.Sink) []sim.CampaignRun {
 	return []sim.CampaignRun{
-		{Name: name + "/insure", Setup: func() (*sim.System, sim.Manager, error) {
+		{Name: name + "/insure", Transient: true, Setup: func(a *sim.Arena) (*sim.System, sim.Manager, error) {
 			cfg := sim.DefaultConfig(tr)
+			cfg.Arena = a
 			sys, err := sim.New(cfg, mk())
 			if err != nil {
 				return nil, nil, err
 			}
 			return sys, core.New(core.DefaultConfig(), cfg.BatteryCount), nil
 		}},
-		{Name: name + "/baseline", Setup: func() (*sim.System, sim.Manager, error) {
+		{Name: name + "/baseline", Transient: true, Setup: func(a *sim.Arena) (*sim.System, sim.Manager, error) {
 			cfg := sim.DefaultConfig(tr)
+			cfg.Arena = a
 			sys, err := sim.New(cfg, mk())
 			if err != nil {
 				return nil, nil, err
@@ -48,8 +50,8 @@ func pairRuns(name string, tr *trace.Trace, mk func() sim.Sink) []sim.CampaignRu
 
 // comparePair runs one InSURE/baseline pair concurrently and returns both
 // results.
-func comparePair(tr *trace.Trace, mk func() sim.Sink) (opt, base sim.Result) {
-	res, err := sim.RunCampaign(context.Background(), 0, pairRuns("pair", tr, mk))
+func comparePair(ctx context.Context, tr *trace.Trace, mk func() sim.Sink) (opt, base sim.Result) {
+	res, err := sim.RunCampaign(ctx, 0, pairRuns("pair", tr, mk))
 	if err != nil {
 		panic(err)
 	}
@@ -57,8 +59,8 @@ func comparePair(tr *trace.Trace, mk func() sim.Sink) (opt, base sim.Result) {
 }
 
 // microPair runs one micro kernel under both managers on the given trace.
-func microPair(spec workload.Spec, tr *trace.Trace) (opt, base sim.Result) {
-	return comparePair(tr, func() sim.Sink { return sim.NewMicroSink(spec) })
+func microPair(ctx context.Context, spec workload.Spec, tr *trace.Trace) (opt, base sim.Result) {
+	return comparePair(ctx, tr, func() sim.Sink { return sim.NewMicroSink(spec) })
 }
 
 // lifeImprovement converts the per-unit wear ratio into a service-life
@@ -80,7 +82,7 @@ func lifeImprovement(opt, base sim.Result) float64 {
 // and averages are assembled from the positional results in the exact order
 // the old serial loop produced them, so the rendered table is byte-identical
 // either way.
-func microSuiteTable(id, title string, metric func(opt, base sim.Result) float64) *Table {
+func microSuiteTable(ctx context.Context, id, title string, metric func(opt, base sim.Result) float64) *Table {
 	t := &Table{
 		ID:     id,
 		Title:  title,
@@ -96,7 +98,7 @@ func microSuiteTable(id, title string, metric func(opt, base sim.Result) float64
 				func() sim.Sink { return sim.NewMicroSink(spec) })...)
 		}
 	}
-	res, err := sim.RunCampaign(context.Background(), 0, runs)
+	res, err := sim.RunCampaign(ctx, 0, runs)
 	if err != nil {
 		panic(err)
 	}
@@ -119,8 +121,8 @@ func microSuiteTable(id, title string, metric func(opt, base sim.Result) float64
 }
 
 // Fig17 regenerates the in-situ service availability improvements.
-func Fig17() *Table {
-	t := microSuiteTable("fig17", "In-situ service availability improvement (InSURE vs baseline)",
+func Fig17(ctx context.Context) *Table {
+	t := microSuiteTable(ctx, "fig17", "In-situ service availability improvement (InSURE vs baseline)",
 		func(opt, base sim.Result) float64 {
 			return metrics.Improvement(opt.UptimeFrac, base.UptimeFrac)
 		})
@@ -129,8 +131,8 @@ func Fig17() *Table {
 }
 
 // Fig18 regenerates the e-Buffer energy availability improvements.
-func Fig18() *Table {
-	t := microSuiteTable("fig18", "e-Buffer energy availability improvement (InSURE vs baseline)",
+func Fig18(ctx context.Context) *Table {
+	t := microSuiteTable(ctx, "fig18", "e-Buffer energy availability improvement (InSURE vs baseline)",
 		func(opt, base sim.Result) float64 {
 			return metrics.Improvement(float64(opt.EnergyAvail), float64(base.EnergyAvail))
 		})
@@ -139,8 +141,8 @@ func Fig18() *Table {
 }
 
 // Fig19 regenerates the expected e-Buffer service-life improvements.
-func Fig19() *Table {
-	t := microSuiteTable("fig19", "Expected e-Buffer service life improvement (InSURE vs baseline)",
+func Fig19(ctx context.Context) *Table {
+	t := microSuiteTable(ctx, "fig19", "Expected e-Buffer service life improvement (InSURE vs baseline)",
 		func(opt, base sim.Result) float64 { return lifeImprovement(opt, base) })
 	t.Notes = append(t.Notes, "paper: 21~24% (improvements capped at +300% where the baseline wear explodes)")
 	return t
@@ -148,7 +150,7 @@ func Fig19() *Table {
 
 // fullSystemTable renders Fig 20 or 21: the six metric improvements at the
 // two capped solar budgets.
-func fullSystemTable(id, title string, mk func() sim.Sink) *Table {
+func fullSystemTable(ctx context.Context, id, title string, mk func() sim.Sink) *Table {
 	t := &Table{
 		ID:     id,
 		Title:  title,
@@ -172,7 +174,7 @@ func fullSystemTable(id, title string, mk func() sim.Sink) *Table {
 	}
 	runs := append(pairRuns(id+"/high", trace.FullSystemHigh(), mk),
 		pairRuns(id+"/low", trace.FullSystemLow(), mk)...)
-	res, err := sim.RunCampaign(context.Background(), 0, runs)
+	res, err := sim.RunCampaign(ctx, 0, runs)
 	if err != nil {
 		panic(err)
 	}
@@ -190,13 +192,13 @@ func fullSystemTable(id, title string, mk func() sim.Sink) *Table {
 }
 
 // Fig20 regenerates the in-situ batch job (seismic) full-system results.
-func Fig20() *Table {
-	return fullSystemTable("fig20", "Full-system results: in-situ batch job (seismic)",
+func Fig20(ctx context.Context) *Table {
+	return fullSystemTable(ctx, "fig20", "Full-system results: in-situ batch job (seismic)",
 		func() sim.Sink { return sim.NewSeismicSink() })
 }
 
 // Fig21 regenerates the in-situ data stream (video) full-system results.
-func Fig21() *Table {
-	return fullSystemTable("fig21", "Full-system results: in-situ data stream (video surveillance)",
+func Fig21(ctx context.Context) *Table {
+	return fullSystemTable(ctx, "fig21", "Full-system results: in-situ data stream (video surveillance)",
 		func() sim.Sink { return sim.NewVideoSink() })
 }

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -67,8 +68,14 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
-// Runner regenerates one experiment.
-type Runner func() *Table
+// Runner regenerates one experiment. The context is the campaign context:
+// runners pass it into sim.RunCampaign so that (a) cancelling it cancels the
+// experiment's simulations and (b) when the runner itself executes as a cell
+// of the shared work-stealing pool (RunAllParallel), its inner campaign
+// joins that pool instead of spawning its own — idle workers steal the
+// fig20/fig21-class sub-simulations that used to serialize behind one
+// worker.
+type Runner func(ctx context.Context) *Table
 
 // registry maps experiment IDs to runners.
 var registry = map[string]Runner{}
@@ -98,7 +105,7 @@ func Run(id string) (*Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
-	return r(), nil
+	return r(context.Background()), nil
 }
 
 // RunAll executes every experiment serially in sorted ID order. The tables
@@ -107,7 +114,7 @@ func Run(id string) (*Table, error) {
 func RunAll() []*Table {
 	var out []*Table
 	for _, id := range IDs() {
-		out = append(out, registry[id]())
+		out = append(out, registry[id](context.Background()))
 	}
 	return out
 }

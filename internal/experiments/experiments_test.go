@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"strconv"
 	"strings"
@@ -58,7 +59,7 @@ func TestRunUnknown(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	tbl := Table2()
+	tbl := Table2(context.Background())
 	if len(tbl.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -81,7 +82,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	tbl := Table3()
+	tbl := Table3(context.Background())
 	if len(tbl.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -112,7 +113,7 @@ func TestTable6Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("six full-day runs")
 	}
-	tbl := Table6()
+	tbl := Table6(context.Background())
 	if len(tbl.Rows) != 6 {
 		t.Fatalf("rows = %d, want 6 (3 days × 2 schemes)", len(tbl.Rows))
 	}
@@ -140,7 +141,7 @@ func TestTable6Shape(t *testing.T) {
 }
 
 func TestTable7Shape(t *testing.T) {
-	tbl := Table7()
+	tbl := Table7(context.Background())
 	if len(tbl.Rows) != 6 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -155,7 +156,7 @@ func TestTable7Shape(t *testing.T) {
 }
 
 func TestFig4aShape(t *testing.T) {
-	tbl := Fig4a()
+	tbl := Fig4a(context.Background())
 	seq := parseF(t, tbl.Rows[0][1])
 	batch := parseF(t, tbl.Rows[1][1])
 	if seq >= batch {
@@ -167,7 +168,7 @@ func TestFig4aShape(t *testing.T) {
 }
 
 func TestFig4bShape(t *testing.T) {
-	tbl := Fig4b()
+	tbl := Fig4b(context.Background())
 	vHigh := parseF(t, tbl.Rows[0][1])
 	vLow := parseF(t, tbl.Rows[1][1])
 	if vHigh >= vLow {
@@ -184,7 +185,7 @@ func TestFig5Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-day run")
 	}
-	tbl := Fig5()
+	tbl := Fig5(context.Background())
 	if tbl.Rows[0][1] == "never" {
 		t.Error("unified buffer never switched out under seismic stress")
 	}
@@ -194,7 +195,7 @@ func TestFig14aShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("half-day run")
 	}
-	tbl := Fig14a()
+	tbl := Fig14a(context.Background())
 	// Unit 1 (lowest SoC) must be charged no later than unit 3.
 	if tbl.Rows[0][2] == "never" {
 		t.Fatal("lowest-SoC unit never charged")
@@ -205,7 +206,7 @@ func TestFig14aShape(t *testing.T) {
 }
 
 func TestFig15Shape(t *testing.T) {
-	tbl := Fig15()
+	tbl := Fig15(context.Background())
 	hi := parseF(t, tbl.Rows[0][1])
 	lo := parseF(t, tbl.Rows[1][1])
 	if hi < 1000 || hi > 1250 {
@@ -220,7 +221,7 @@ func TestFig17Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("24 full-day runs")
 	}
-	tbl := Fig17()
+	tbl := Fig17(context.Background())
 	if len(tbl.Rows) != 7 { // 6 kernels + average
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -243,7 +244,7 @@ func TestFig20Fig21Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("8 full-day runs")
 	}
-	for _, tbl := range []*Table{Fig20(), Fig21()} {
+	for _, tbl := range []*Table{Fig20(context.Background()), Fig21(context.Background())} {
 		if len(tbl.Rows) != 6 {
 			t.Fatalf("%s: rows = %d", tbl.ID, len(tbl.Rows))
 		}
@@ -263,7 +264,7 @@ func TestExtFaultsShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two full-day runs")
 	}
-	tbl := ExtFaults()
+	tbl := ExtFaults(context.Background())
 	if len(tbl.Rows) != 2 {
 		t.Fatalf("rows = %d, want InSURE and baseline", len(tbl.Rows))
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -35,7 +37,7 @@ func init() {
 
 // ExtBackup quantifies the secondary power feed: a dark rainy day with no
 // backup, a diesel backup, and a fuel-cell backup.
-func ExtBackup() *Table {
+func ExtBackup(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "extbackup",
 		Title:  "Secondary power feed on a dark rainy day (video workload)",
@@ -73,7 +75,7 @@ func ExtBackup() *Table {
 
 // ExtHybrid quantifies the wind/solar hybrid of §2.2 across wind regimes
 // on a rainy (solar-poor) day.
-func ExtHybrid() *Table {
+func ExtHybrid(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "exthybrid",
 		Title:  "Wind/solar hybrid on a rainy day (video workload)",
@@ -110,7 +112,7 @@ func ExtHybrid() *Table {
 
 // ExtForecast compares the fixed 25% cloud margin against the
 // clear-sky-ratio lookahead planner on a cloudy day.
-func ExtForecast() *Table {
+func ExtForecast(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "extforecast",
 		Title:  "Lookahead planning vs fixed cloud margin (cloudy day, seismic)",
@@ -144,7 +146,7 @@ func ExtForecast() *Table {
 
 // ExtEndurance runs a two-week mixed-weather campaign and validates the
 // service-life projection against Table 1's 4-year battery design life.
-func ExtEndurance() *Table {
+func ExtEndurance(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "extendurance",
 		Title:  "14-day mixed-weather campaign (seismic workload)",
@@ -180,7 +182,7 @@ func ExtEndurance() *Table {
 // casualties (Fig 8's Offline state) and re-balance the remaining bank; the
 // baseline has no per-unit visibility and just rides whatever the plant
 // gives it.
-func ExtFaults() *Table {
+func ExtFaults(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "extfaults",
 		Title:  "Availability under injected faults (high-solar day, seismic)",
@@ -234,7 +236,7 @@ func ExtFaults() *Table {
 // coming. With survivability off the plant crash-browns out and loses VM
 // state; the ladder sheds load, checkpoints ahead of depletion, and (with a
 // genset fitted) bridges the checkpoint window on diesel.
-func ExtSurvival() *Table {
+func ExtSurvival(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "extsurvival",
 		Title:  "Energy-emergency survivability (427 W low-generation day + midday surge, video)",
@@ -294,7 +296,7 @@ func ExtSurvival() *Table {
 // ExtPriorArt compares InSURE against both prior-art management styles the
 // paper discusses: the Parasol/GreenSwitch-style baseline (§6.4) and a
 // Blink-style fast power-state tracker ([88]).
-func ExtPriorArt() *Table {
+func ExtPriorArt(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "extpriorart",
 		Title:  "Prior-art comparison on the constrained budget (500 W, video)",

@@ -3,79 +3,56 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"runtime/debug"
-	"sync"
+
+	"insure/internal/sim"
 )
 
-// RunAllParallel executes every registered experiment on a bounded worker
-// pool and returns the Tables in sorted-ID order — the same order, and the
-// same table contents, as RunAll. workers <= 0 means GOMAXPROCS.
+// RunAllParallel executes every registered experiment on the shared
+// work-stealing cell pool and returns the Tables in sorted-ID order — the
+// same order, and the same table contents, as RunAll. workers <= 0 means
+// GOMAXPROCS.
+//
+// Each experiment is one top-level cell, and — because the runner receives
+// the pool-carrying context — every simulation its campaigns spawn becomes
+// a further cell on the SAME pool. Scheduling is therefore dynamic down to
+// individual plant-days: a heavyweight experiment (the fig20/fig21 shape,
+// which under the old experiment-granularity sharding pinned one worker for
+// the whole tail) is picked apart by whoever is idle.
 //
 // This is safe because the registry is read-only after package init, every
 // runner builds its own simulations from scratch (per-instance RNG, no
 // shared mutable package state — see the audit note on Run), and each call
-// returns a freshly-built Table. A runner that panics is converted into an
-// error carrying the experiment ID and stack; the first failing ID (in
-// sorted order) is reported after the pool drains. Cancelling ctx marks the
-// not-yet-started experiments failed without abandoning in-flight ones.
+// returns a freshly-built Table. Results are merged positionally, so output
+// is byte-identical to RunAll regardless of scheduling order. A runner that
+// panics is converted into an error carrying the experiment ID and stack;
+// the first failing ID (in sorted order) is reported after the pool drains.
+// Cancelling ctx marks the not-yet-started experiments failed without
+// abandoning in-flight ones.
 func RunAllParallel(ctx context.Context, workers int) ([]*Table, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	ids := IDs()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(ids) {
-		workers = len(ids)
-	}
 	out := make([]*Table, len(ids))
-	errs := make([]error, len(ids))
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	jobs := make(chan int, len(ids))
-	for i := range ids {
-		jobs <- i
-	}
-	close(jobs)
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if err := ctx.Err(); err != nil {
-					errs[i] = fmt.Errorf("experiments: %s: %w", ids[i], err)
-					continue
-				}
-				out[i], errs[i] = runOne(ids[i])
-				if errs[i] != nil {
-					cancel()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
+	err := sim.RunCells(ctx, workers, len(ids), func(cellCtx context.Context, i int, _ *sim.Arena) error {
+		t, err := runOne(cellCtx, ids[i])
+		out[i] = t
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // runOne executes a single registered runner, converting a panic into an
 // error so one broken experiment fails the batch instead of the process.
-func runOne(id string) (t *Table, err error) {
+func runOne(ctx context.Context, id string) (t *Table, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("experiments: %s panicked: %v\n%s", id, r, debug.Stack())
 		}
 	}()
-	return registry[id](), nil
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, cerr)
+	}
+	return registry[id](ctx), nil
 }

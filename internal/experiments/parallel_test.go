@@ -55,7 +55,7 @@ func TestRunAllParallelMatchesRunAll(t *testing.T) {
 // real experiments are skipped via context cancellation.
 func TestRunAllParallelPanicPropagation(t *testing.T) {
 	const id = "_panic-probe"
-	register(id, func() *Table { panic("probe explosion") })
+	register(id, func(context.Context) *Table { panic("probe explosion") })
 	defer delete(registry, id)
 
 	_, err := RunAllParallel(context.Background(), 1)

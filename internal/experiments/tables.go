@@ -45,7 +45,7 @@ func estClusterPower(prof server.Profile, util float64, n int) units.Watt {
 // the same 2 kWh energy budget inside a fixed experiment window; the large
 // configuration exhausts its budget early (57% availability) and ends up
 // with lower delivered throughput.
-func Table2() *Table {
+func Table2(ctx context.Context) *Table {
 	const budgetKWh = 2.0
 	const windowH = 2.5
 	spec := workload.Seismic()
@@ -81,7 +81,7 @@ func Table2() *Table {
 
 // Table3 reproduces the video VM-scaling study: throughput and service
 // delay per one-minute job window at each VM count.
-func Table3() *Table {
+func Table3(ctx context.Context) *Table {
 	spec := workload.Video()
 	prof := server.Xeon()
 	t := &Table{
@@ -119,7 +119,7 @@ func Table3() *Table {
 // Table6 reproduces the day-long operating-log statistics for the
 // spatio-temporal optimisation (Opt) versus aggressive buffer use (No-Opt)
 // across the three weather scenarios.
-func Table6() *Table {
+func Table6(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "table6",
 		Title: "Day-long log statistics, Opt (InSURE) vs No-Opt (baseline)",
@@ -143,9 +143,11 @@ func Table6() *Table {
 		for _, opt := range []bool{false, true} {
 			opt := opt
 			runs = append(runs, sim.CampaignRun{
-				Name: fmt.Sprintf("table6/%s/opt=%v", d.name, opt),
-				Setup: func() (*sim.System, sim.Manager, error) {
+				Name:      fmt.Sprintf("table6/%s/opt=%v", d.name, opt),
+				Transient: true,
+				Setup: func(a *sim.Arena) (*sim.System, sim.Manager, error) {
 					cfg := sim.DefaultConfig(tr)
+					cfg.Arena = a
 					sys, err := sim.New(cfg, sim.NewSeismicSink())
 					if err != nil {
 						return nil, nil, err
@@ -158,7 +160,7 @@ func Table6() *Table {
 			})
 		}
 	}
-	results, err := sim.RunCampaign(context.Background(), 0, runs)
+	results, err := sim.RunCampaign(ctx, 0, runs)
 	if err != nil {
 		panic(err)
 	}
@@ -187,7 +189,7 @@ func Table6() *Table {
 }
 
 // Table7 reproduces the legacy-vs-low-power server comparison.
-func Table7() *Table {
+func Table7(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "table7",
 		Title:  "Legacy high-performance node vs low-power node",

@@ -24,24 +24,26 @@ type RelayState struct {
 
 // State captures the relay's mutable state.
 func (r *Relay) State() RelayState {
+	s, i := r.s, r.i
 	return RelayState{
-		Closed:  r.closed,
-		Cycles:  r.cycles,
-		Aborted: r.aborted,
-		Pending: r.pending,
-		Waited:  r.waited,
-		Fail:    r.fail,
+		Closed:  s.closed[i],
+		Cycles:  s.cycles[i],
+		Aborted: s.aborted[i],
+		Pending: s.pending[i],
+		Waited:  s.waited[i],
+		Fail:    s.fail[i],
 	}
 }
 
 // Restore overwrites the relay's mutable state.
 func (r *Relay) Restore(st RelayState) {
-	r.closed = st.Closed
-	r.cycles = st.Cycles
-	r.aborted = st.Aborted
-	r.pending = st.Pending
-	r.waited = st.Waited
-	r.fail = st.Fail
+	s, i := r.s, r.i
+	s.closed[i] = st.Closed
+	s.cycles[i] = st.Cycles
+	s.aborted[i] = st.Aborted
+	s.pending[i] = st.Pending
+	s.waited[i] = st.Waited
+	s.fail[i] = st.Fail
 }
 
 // AppendTo serializes the state into e.

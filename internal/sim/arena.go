@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"time"
+
+	"insure/internal/trace"
+	"insure/internal/units"
+)
+
+// Arena is per-worker scratch memory for the campaign path. Each pool worker
+// owns exactly one Arena, so nothing in it is ever shared between goroutines
+// and nothing on the campaign hot path allocates against the shared heap
+// more than once per worker:
+//
+//   - Solar LUTs (≈850 KB per trace at a 1 s step — the dominant
+//     campaign-path allocation) are built once per (trace, step, span) and
+//     handed out read-only to every System the worker constructs.
+//   - Recorders from runs marked Transient are reset and reissued to the
+//     worker's next run instead of being re-grown from zero.
+//
+// Reuse is a memory optimisation only: a LUT is a pure function of its key
+// and a reset recorder is indistinguishable from a fresh one, so results
+// stay bit-identical to arena-free construction. A nil *Arena is valid and
+// simply allocates fresh everywhere, so callers never need to guard.
+type Arena struct {
+	luts map[lutKey][]units.Watt
+	recs []*Recorder
+}
+
+type lutKey struct {
+	trace *trace.Trace
+	step  time.Duration
+	end   time.Duration
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// solarLUT returns the trace resampled onto step covering [0, end], cached
+// per key. The slice is read-only after construction; Systems index it but
+// never write it, so handing the same backing array to many Systems is safe.
+func (a *Arena) solarLUT(tr *trace.Trace, step, end time.Duration) []units.Watt {
+	if tr == nil || step <= 0 {
+		return nil
+	}
+	if t := tr.End(); t > end {
+		end = t
+	}
+	k := lutKey{trace: tr, step: step, end: end}
+	if a != nil {
+		if lut, ok := a.luts[k]; ok {
+			return lut
+		}
+	}
+	n := int(end/step) + 1
+	lut := make([]units.Watt, n)
+	for i := range lut {
+		lut[i] = tr.At(time.Duration(i) * step)
+	}
+	if a != nil {
+		if a.luts == nil {
+			a.luts = make(map[lutKey][]units.Watt)
+		}
+		a.luts[k] = lut
+	}
+	return lut
+}
+
+// getRecorder returns a recorder pre-sized for frames×nUnits, reusing a
+// recycled one whose capacity fits if available.
+func (a *Arena) getRecorder(frames, nUnits int) *Recorder {
+	if a != nil {
+		for i, r := range a.recs {
+			if cap(r.frames) >= frames && cap(r.volts) >= frames*nUnits {
+				a.recs[i] = a.recs[len(a.recs)-1]
+				a.recs[len(a.recs)-1] = nil
+				a.recs = a.recs[:len(a.recs)-1]
+				r.Reset()
+				return r
+			}
+		}
+	}
+	return NewRecorderSized(frames, nUnits)
+}
+
+// recycleSystem reclaims the reusable guts of a finished System. Only call
+// it for runs whose System does not escape the campaign cell
+// (CampaignRun.Transient): after recycling, the System's recorded frames
+// alias memory the next run will overwrite.
+func (a *Arena) recycleSystem(sys *System) {
+	if a == nil || sys == nil || sys.recorder == nil {
+		return
+	}
+	a.recs = append(a.recs, sys.recorder)
+	sys.recorder = nil
+}

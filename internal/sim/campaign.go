@@ -3,93 +3,70 @@ package sim
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"runtime/debug"
-	"sync"
 )
 
 // CampaignRun is one independent simulation in a campaign: a named factory
 // that builds a fully-wired System plus the Manager to drive it. The factory
-// runs inside the worker goroutine, so every run gets its own plant, RNG,
-// recorder, and logbook state — nothing is shared between runs except
-// whatever immutable inputs (e.g. a replayed trace.Trace) the caller closes
-// over.
+// runs inside a pool worker, so every run gets its own plant, RNG, recorder,
+// and logbook state — nothing is shared between runs except whatever
+// immutable inputs (e.g. a replayed trace.Trace) the caller closes over.
+//
+// The factory receives the executing worker's Arena. Passing it into
+// Config.Arena lets the run reuse the worker's cached solar LUTs and
+// recycled recorders; ignoring it (or a nil arena) is always valid.
 type CampaignRun struct {
 	Name  string
-	Setup func() (*System, Manager, error)
+	Setup func(a *Arena) (*System, Manager, error)
+
+	// Transient marks a run whose System does not outlive its campaign
+	// cell — the caller consumes only the returned Result. The engine then
+	// recycles the System's recorder into the worker's arena for the next
+	// run. Leave it false when Setup lets the *System escape (pointer
+	// capture, recorded frames read after the campaign).
+	Transient bool
 }
 
-// RunCampaign executes the runs concurrently on a bounded worker pool and
-// returns their Results in input order. workers <= 0 means GOMAXPROCS.
+// RunCampaign executes the runs on the work-stealing cell pool and returns
+// their Results in input order. workers <= 0 means GOMAXPROCS; workers == 1
+// runs serially inline. When called from inside another campaign cell, the
+// runs join the enclosing pool so idle workers steal them (see RunCells).
 //
 // Each run is deterministic in isolation, so the positional result slice is
 // byte-for-byte identical to running the campaign serially — the paper's
 // paired-trace methodology (§5) depends on that. A run that panics is
 // converted into an error carrying the run name and stack; the first error
-// (in input order) is returned after the pool drains, and a cancelled ctx
-// marks the not-yet-started runs failed without abandoning in-flight ones.
+// (in input order) cancels the campaign and is returned after every cell
+// has either finished or been marked cancelled. On error the partial
+// results are discarded — the caller gets (nil, err), never a mix of real
+// and zero Results.
 func RunCampaign(ctx context.Context, workers int, runs []CampaignRun) ([]Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(runs) {
-		workers = len(runs)
-	}
 	results := make([]Result, len(runs))
-	errs := make([]error, len(runs))
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	jobs := make(chan int, len(runs))
-	for i := range runs {
-		jobs <- i
-	}
-	close(jobs)
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if err := ctx.Err(); err != nil {
-					errs[i] = fmt.Errorf("sim: campaign run %q: %w", runs[i].Name, err)
-					continue
-				}
-				errs[i] = runCampaignOne(&runs[i], &results[i])
-				if errs[i] != nil {
-					cancel()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
+	err := RunCells(ctx, workers, len(runs), func(_ context.Context, i int, a *Arena) error {
+		return runCampaignOne(&runs[i], &results[i], a)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }
 
-// runCampaignOne executes one run, converting a panic into an error so a
-// misconfigured experiment fails its campaign instead of killing the
-// process.
-func runCampaignOne(run *CampaignRun, res *Result) (err error) {
+// runCampaignOne executes one run on worker arena a, converting a panic
+// into an error so a misconfigured experiment fails its campaign instead of
+// killing the process.
+func runCampaignOne(run *CampaignRun, res *Result, a *Arena) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("sim: campaign run %q panicked: %v\n%s", run.Name, r, debug.Stack())
 		}
 	}()
-	sys, mgr, err := run.Setup()
+	sys, mgr, err := run.Setup(a)
 	if err != nil {
 		return fmt.Errorf("sim: campaign run %q: %w", run.Name, err)
 	}
 	*res = sys.Run(mgr)
+	if run.Transient {
+		a.recycleSystem(sys)
+	}
 	return nil
 }

@@ -26,7 +26,7 @@ func pairCampaign() []sim.CampaignRun {
 	} {
 		tr := tc.tr
 		runs = append(runs,
-			sim.CampaignRun{Name: tc.name + "/insure", Setup: func() (*sim.System, sim.Manager, error) {
+			sim.CampaignRun{Name: tc.name + "/insure", Setup: func(a *sim.Arena) (*sim.System, sim.Manager, error) {
 				cfg := sim.DefaultConfig(tr)
 				sys, err := sim.New(cfg, sim.NewSeismicSink())
 				if err != nil {
@@ -34,7 +34,7 @@ func pairCampaign() []sim.CampaignRun {
 				}
 				return sys, core.New(core.DefaultConfig(), cfg.BatteryCount), nil
 			}},
-			sim.CampaignRun{Name: tc.name + "/baseline", Setup: func() (*sim.System, sim.Manager, error) {
+			sim.CampaignRun{Name: tc.name + "/baseline", Setup: func(a *sim.Arena) (*sim.System, sim.Manager, error) {
 				cfg := sim.DefaultConfig(tr)
 				sys, err := sim.New(cfg, sim.NewSeismicSink())
 				if err != nil {
@@ -54,7 +54,7 @@ func TestRunCampaignMatchesSerial(t *testing.T) {
 	runs := pairCampaign()
 	want := make([]sim.Result, len(runs))
 	for i, r := range runs {
-		sys, mgr, err := r.Setup()
+		sys, mgr, err := r.Setup(nil)
 		if err != nil {
 			t.Fatalf("setup %s: %v", r.Name, err)
 		}
@@ -80,7 +80,7 @@ func TestRunCampaignSetupError(t *testing.T) {
 	sentinel := errors.New("boom")
 	runs := []sim.CampaignRun{{
 		Name:  "broken",
-		Setup: func() (*sim.System, sim.Manager, error) { return nil, nil, sentinel },
+		Setup: func(a *sim.Arena) (*sim.System, sim.Manager, error) { return nil, nil, sentinel },
 	}}
 	_, err := sim.RunCampaign(context.Background(), 1, runs)
 	if !errors.Is(err, sentinel) {
@@ -94,7 +94,7 @@ func TestRunCampaignSetupError(t *testing.T) {
 func TestRunCampaignPanicBecomesError(t *testing.T) {
 	runs := []sim.CampaignRun{{
 		Name:  "panicky",
-		Setup: func() (*sim.System, sim.Manager, error) { panic("kaboom") },
+		Setup: func(a *sim.Arena) (*sim.System, sim.Manager, error) { panic("kaboom") },
 	}}
 	_, err := sim.RunCampaign(context.Background(), 1, runs)
 	if err == nil {

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"insure/internal/battery"
+	"insure/internal/relay"
+)
+
+// FleetSpec is one plant of a Fleet: its configuration, workload sink, and
+// power manager.
+type FleetSpec struct {
+	Config  Config
+	Sink    Sink
+	Manager Manager
+}
+
+// Fleet embeds N independent plant simulations in one process and steps
+// them as a batch — the embeddability layer fleet federation builds on.
+//
+// The plants are operationally independent: no power, control, or workload
+// coupling exists between them, and each produces exactly the Result its
+// System would produce under System.Run. What the Fleet changes is memory
+// layout and stepping order: when every plant has the same battery shape,
+// their banks and relay fabrics are allocated on shared structure-of-arrays
+// stores (battery.NewBankFleet, relay.NewFabricFleet), so one simulated
+// second of the whole fleet walks contiguous arrays instead of N scattered
+// heaps. Run interleaves plants tick-by-tick to exploit that locality;
+// interleaving is result-invariant because the plants share no state.
+type Fleet struct {
+	step    time.Duration
+	systems []*System
+	mgrs    []Manager
+	starts  []time.Duration
+	ends    []time.Duration
+}
+
+// NewFleet assembles one System per spec. Every spec must use the same
+// simulation step. When all plants share an identical battery shape (same
+// Params, count, and initial SoC, with no caller-supplied Bank or Fabric),
+// the banks and fabrics are placed on shared SoA stores; otherwise each
+// plant allocates independently, with identical results either way.
+func NewFleet(specs []FleetSpec) (*Fleet, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sim: fleet needs at least one plant")
+	}
+	step := specs[0].Config.Step
+	if step <= 0 {
+		step = time.Second
+	}
+	for i := range specs {
+		s := specs[i].Config.Step
+		if s <= 0 {
+			s = time.Second
+		}
+		if s != step {
+			return nil, fmt.Errorf("sim: fleet plants disagree on step (%v vs %v)", s, step)
+		}
+	}
+
+	// Shared-store eligibility: homogeneous battery shape, nothing
+	// caller-supplied.
+	shared := true
+	first := specs[0].Config
+	for i := range specs {
+		c := &specs[i].Config
+		if c.Bank != nil || c.Fabric != nil ||
+			c.BatteryParams != first.BatteryParams ||
+			c.BatteryCount != first.BatteryCount ||
+			c.InitialSoC != first.InitialSoC {
+			shared = false
+			break
+		}
+	}
+
+	var banks []*battery.Bank
+	var fabrics []*relay.Fabric
+	if shared && first.BatteryCount > 0 {
+		var err error
+		banks, _, err = battery.NewBankFleet(first.BatteryParams, len(specs), first.BatteryCount, first.InitialSoC)
+		if err != nil {
+			return nil, err
+		}
+		fabrics = relay.NewFabricFleet(len(specs), first.BatteryCount)
+	}
+
+	f := &Fleet{
+		step:    step,
+		systems: make([]*System, len(specs)),
+		mgrs:    make([]Manager, len(specs)),
+		starts:  make([]time.Duration, len(specs)),
+		ends:    make([]time.Duration, len(specs)),
+	}
+	for i := range specs {
+		cfg := specs[i].Config
+		if banks != nil {
+			cfg.Bank = banks[i]
+			cfg.Fabric = fabrics[i]
+		}
+		sys, err := New(cfg, specs[i].Sink)
+		if err != nil {
+			return nil, fmt.Errorf("sim: fleet plant %d: %w", i, err)
+		}
+		f.systems[i] = sys
+		f.mgrs[i] = specs[i].Manager
+		f.starts[i], f.ends[i] = sys.Span()
+		// The batch loop visits tod = starts[0] + k·step; a plant whose own
+		// span start is off that grid would tick at different instants than
+		// its solo Run, breaking result equivalence. Reject it up front.
+		if (f.starts[i]-f.starts[0])%step != 0 {
+			return nil, fmt.Errorf("sim: fleet plant %d span start %v misaligned with plant 0 (%v) at step %v",
+				i, f.starts[i], f.starts[0], step)
+		}
+	}
+	return f, nil
+}
+
+// Size returns the number of plants.
+func (f *Fleet) Size() int { return len(f.systems) }
+
+// System returns plant i's System, e.g. to attach telemetry or fault hooks
+// before Run.
+func (f *Fleet) System(i int) *System { return f.systems[i] }
+
+// SimulatedTime is the total simulated plant-time one Run covers, summed
+// across plants — the numerator of the plant-years-per-second metric.
+func (f *Fleet) SimulatedTime() time.Duration {
+	var total time.Duration
+	for i := range f.systems {
+		total += f.ends[i] - f.starts[i]
+	}
+	return total
+}
+
+// Run steps every plant over its full-day span, interleaved tick-by-tick
+// (all plants advance through time-of-day together), and returns each
+// plant's Result in input order. Because the plants are independent, the
+// results are identical to calling systems[i].Run(mgrs[i]) one after
+// another.
+func (f *Fleet) Run() []Result {
+	lo, hi := f.starts[0], f.ends[0]
+	for i := 1; i < len(f.systems); i++ {
+		if f.starts[i] < lo {
+			lo = f.starts[i]
+		}
+		if f.ends[i] > hi {
+			hi = f.ends[i]
+		}
+	}
+	for tod := lo; tod < hi; tod += f.step {
+		for i, sys := range f.systems {
+			if tod >= f.starts[i] && tod < f.ends[i] {
+				sys.Tick(tod, f.mgrs[i])
+			}
+		}
+	}
+	out := make([]Result, len(f.systems))
+	for i, sys := range f.systems {
+		out[i] = sys.Finish(f.mgrs[i])
+	}
+	return out
+}

@@ -55,6 +55,17 @@ func NewRecorderSized(frames, nUnits int) *Recorder {
 // Frames returns the captured series.
 func (r *Recorder) Frames() []Frame { return r.frames }
 
+// Reset truncates the recorder to empty while keeping its backing arrays,
+// so the next run's captures reuse the memory instead of growing it again.
+// Frames handed out before the reset alias storage that will be
+// overwritten — only reset a recorder whose output is no longer referenced.
+func (r *Recorder) Reset() {
+	r.frames = r.frames[:0]
+	r.volts = r.volts[:0]
+	r.socs = r.socs[:0]
+	r.modes = r.modes[:0]
+}
+
 func (r *Recorder) capture(tod time.Duration, s *System) {
 	n := s.Bank.Size()
 	f := Frame{

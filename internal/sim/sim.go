@@ -95,6 +95,14 @@ type Config struct {
 	// of creating a fresh one — multi-day campaigns carry charge state and
 	// wear across days this way.
 	Bank *battery.Bank
+	// Fabric, when non-nil, is an existing relay fabric to operate instead
+	// of creating a fresh one — Fleet wires plants onto shared
+	// structure-of-arrays stores this way.
+	Fabric *relay.Fabric
+	// Arena, when non-nil, supplies worker-local scratch memory (solar LUT
+	// cache, recycled recorders) for campaign construction. Purely a memory
+	// optimisation: results are bit-identical with or without it.
+	Arena *Arena
 }
 
 // AuxSupply is an additional renewable generator with the solar supply's
@@ -210,19 +218,25 @@ func New(cfg Config, sink Sink) (*System, error) {
 	} else if bank.Size() != cfg.BatteryCount {
 		return nil, fmt.Errorf("sim: supplied bank has %d units, config wants %d", bank.Size(), cfg.BatteryCount)
 	}
+	fabric := cfg.Fabric
+	if fabric == nil {
+		fabric = relay.NewFabric(cfg.BatteryCount)
+	} else if fabric.Size() != cfg.BatteryCount {
+		return nil, fmt.Errorf("sim: supplied fabric has %d positions, config wants %d", fabric.Size(), cfg.BatteryCount)
+	}
 	start, end := runSpan(cfg)
 	estFrames := int((end-start)/cfg.RecordEvery) + 4
 	s := &System{
 		cfg:                cfg,
 		Bank:               bank,
-		Fabric:             relay.NewFabric(cfg.BatteryCount),
+		Fabric:             fabric,
 		PLC:                plc.New(cfg.BatteryCount),
 		Cluster:            server.NewCluster(cfg.ServerProfile, cfg.ServerCount),
 		Sink:               sink,
 		storedSeries:       metrics.NewStreamingSeries(),
 		voltSeries:         metrics.NewStreamingSeries(),
 		minVolt:            99,
-		recorder:           NewRecorderSized(estFrames, cfg.BatteryCount),
+		recorder:           cfg.Arena.getRecorder(estFrames, cfg.BatteryCount),
 		scratchCharging:    make([]int, 0, cfg.BatteryCount),
 		scratchDischarging: make([]int, 0, cfg.BatteryCount),
 		scratchOpen:        make([]int, 0, cfg.BatteryCount),
@@ -256,19 +270,10 @@ func runSpan(cfg Config) (start, end time.Duration) {
 
 // buildSolarLUT resamples the trace onto the simulation step once, covering
 // time-of-day zero through end, so the per-tick supply query is one bounds
-// check and one load.
+// check and one load. With an Arena configured the LUT comes from the
+// worker's cache — same values, built at most once per (trace, step, span).
 func (s *System) buildSolarLUT(end time.Duration) {
-	if s.cfg.Trace == nil || s.cfg.Step <= 0 {
-		return
-	}
-	if t := s.cfg.Trace.End(); t > end {
-		end = t
-	}
-	n := int(end/s.cfg.Step) + 1
-	s.solarLUT = make([]units.Watt, n)
-	for i := range s.solarLUT {
-		s.solarLUT[i] = s.cfg.Trace.At(time.Duration(i) * s.cfg.Step)
-	}
+	s.solarLUT = s.cfg.Arena.solarLUT(s.cfg.Trace, s.cfg.Step, end)
 }
 
 // solarAt is the step-indexed supply lookup. Off-step or out-of-range
