@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival vet check bench bench-json bench-scaling perf-diff experiments clean
+.PHONY: all build test race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet vet check bench bench-json bench-scaling perf-diff experiments clean
 
 all: build
 
@@ -63,6 +63,23 @@ smoke-survival:
 race-survival:
 	$(GO) test -race -count=1 -run 'TestStorm' -v ./internal/chaos
 
+# smoke-fleet runs the quick federation gates: a deterministic 2-site storm
+# handoff through the insure-sim entry point (seeded, so the line below is
+# reproducible), plus the coordinator's byte-identity and
+# migration-toward-surplus tests.
+smoke-fleet:
+	$(GO) run ./cmd/insure-sim -fleet 2 -storm-days 2 -storm-site 0 -migrate
+	$(GO) test -count=1 -run 'TestCoordinatorDisabledMatchesSoloRuns|TestCoordinatorMigratesTowardSurplus' ./internal/fleet
+
+# race-fleet runs the full federation suite — coordinator migration, log
+# recovery, site-loss disposability, the heterogeneous kill/resume replay,
+# and the multi-day site-loss campaign — under the race detector. A failing
+# campaign prints its seed; rerun with `go test -run TestSiteLoss
+# ./internal/chaos -v`.
+race-fleet:
+	$(GO) test -race -count=1 ./internal/fleet
+	$(GO) test -race -count=1 -run 'TestSiteLoss' -v ./internal/chaos
+
 # bench-scaling measures the plant-years/sec workers-scaling curve on a
 # short campaign and enforces the speedup gate: on N >= 2 cores, speedup at
 # N workers must reach 0.7*N or the target fails. On a single-core machine
@@ -74,9 +91,9 @@ bench-scaling:
 # under the race detector (the parallel experiment engine and campaign
 # runner are exercised concurrently there), the injected-fault smoke
 # simulation, the telemetry-plane smoke test, the crash-recovery chaos
-# campaigns, the energy-emergency survivability gates, and the multicore
-# scaling gate.
-check: vet build race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival bench-scaling
+# campaigns, the energy-emergency survivability gates, the fleet-federation
+# gates, and the multicore scaling gate.
+check: vet build race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet bench-scaling
 
 # bench runs the simulation hot-path and experiment benchmarks.
 bench:

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -26,12 +27,24 @@ type benchCase struct {
 }
 
 // engineTiming compares the serial and parallel experiment engines on one
-// full evaluation each.
+// full evaluation each. Like the campaign-scaling gate, it refuses to
+// report a "speedup" measured on a single CPU — there parallelism cannot
+// help and the number would only contradict the gate's skipped-single-cpu
+// verdict — but it always verifies the two engines render identical
+// tables, which is the equivalence that matters on any machine.
 type engineTiming struct {
-	Workers         int     `json:"workers"`
+	Workers int `json:"workers"`
+	// Status is "measured" on a multi-core machine, "skipped-single-cpu"
+	// when GOMAXPROCS is 1 and the serial/parallel comparison is
+	// meaningless.
+	Status          string  `json:"status"`
 	SerialSeconds   float64 `json:"serial_seconds"`
 	ParallelSeconds float64 `json:"parallel_seconds"`
-	Speedup         float64 `json:"speedup"`
+	// Speedup is only present when Status is "measured".
+	Speedup float64 `json:"speedup,omitempty"`
+	// TablesIdentical records that the parallel engine rendered exactly
+	// the serial engine's output.
+	TablesIdentical bool `json:"tables_identical"`
 }
 
 // benchReport is the BENCH.json document.
@@ -102,13 +115,18 @@ func writeBenchJSON(path string, workers, scalingCells int) error {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	rep.Engine.Workers = workers
-	if rep.Engine.ParallelSeconds > 0 {
-		rep.Engine.Speedup = rep.Engine.SerialSeconds / rep.Engine.ParallelSeconds
+	if runtime.GOMAXPROCS(0) < 2 {
+		rep.Engine.Status = gateSkipped1CPU
+	} else {
+		rep.Engine.Status = "measured"
+		if rep.Engine.ParallelSeconds > 0 {
+			rep.Engine.Speedup = rep.Engine.SerialSeconds / rep.Engine.ParallelSeconds
+		}
 	}
-	if len(serialTables) != len(parallelTables) {
-		return fmt.Errorf("engine mismatch: serial produced %d tables, parallel %d",
-			len(serialTables), len(parallelTables))
+	if err := compareTables(serialTables, parallelTables); err != nil {
+		return err
 	}
+	rep.Engine.TablesIdentical = true
 
 	fmt.Fprintln(os.Stderr, "measuring campaign scaling...")
 	rep.CampaignScaling, err = measureScaling(scalingCells)
@@ -134,10 +152,38 @@ func writeBenchJSON(path string, workers, scalingCells int) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (tick %.0f ns/op, %d allocs/op; %.4f plant-years/sec; engine speedup %.2fx on %d workers; gate %s)\n",
+	engine := fmt.Sprintf("engine speedup %.2fx on %d workers", rep.Engine.Speedup, rep.Engine.Workers)
+	if rep.Engine.Status == gateSkipped1CPU {
+		engine = "engine comparison skipped-single-cpu (tables identical)"
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (tick %.0f ns/op, %d allocs/op; %.4f plant-years/sec; %s; gate %s)\n",
 		path, rep.Benchmarks[0].NsPerOp, rep.Benchmarks[0].AllocsPerOp,
-		rep.PlantYearsPerSec, rep.Engine.Speedup, rep.Engine.Workers,
+		rep.PlantYearsPerSec, engine,
 		rep.CampaignScaling.Gate.Status)
+	return nil
+}
+
+// compareTables asserts the parallel engine produced exactly the serial
+// engine's tables, rendered byte-for-byte — the equivalence contract that
+// holds regardless of core count.
+func compareTables(serial, parallel []*experiments.Table) error {
+	if len(serial) != len(parallel) {
+		return fmt.Errorf("engine mismatch: serial produced %d tables, parallel %d",
+			len(serial), len(parallel))
+	}
+	for i := range serial {
+		var a, b bytes.Buffer
+		if err := serial[i].Render(&a); err != nil {
+			return err
+		}
+		if err := parallel[i].Render(&b); err != nil {
+			return err
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			return fmt.Errorf("engine mismatch: table %d (%s) rendered differently in parallel",
+				i, serial[i].ID)
+		}
+	}
 	return nil
 }
 

@@ -10,6 +10,7 @@
 //	insure-sim -peak 1000 -dump-trace solar.csv
 //	insure-sim -weather rainy -workload video -survival -genset
 //	insure-sim -storm-days 3 -survival -genset
+//	insure-sim -fleet 3 -storm-days 3 -storm-site 0 -migrate
 package main
 
 import (
@@ -64,6 +65,10 @@ func main() {
 	survival := flag.Bool("survival", false, "arm the energy-emergency survivability ladder (insure policy only)")
 	gensetFit := flag.Bool("genset", false, "fit a diesel backup generator for last-resort dispatch")
 	stormDays := flag.Int("storm-days", 0, "run an N-day chaos storm campaign instead of a single day and print its report")
+	fleetSize := flag.Int("fleet", 0, "federate N sites under one coordinator and park the storm over -storm-site (requires N >= 2)")
+	stormSite := flag.Int("storm-site", 0, "fleet site index the storm sits over")
+	migrate := flag.Bool("migrate", false, "arm surplus-driven job migration and checkpoint shipping across the fleet (implies per-site survival ladders)")
+	fleetLog := flag.String("fleet-log", "", "journal the coordinator's migration log to this directory")
 	flag.Parse()
 
 	faultPlan, ferr := faults.Parse(*faultSpec)
@@ -85,6 +90,27 @@ func main() {
 	}
 	if *survival && (*compare || *policy != "insure") {
 		log.Fatal("-survival arms the insure control plane; use -policy insure without -compare")
+	}
+
+	if *fleetSize > 0 {
+		days := *stormDays
+		if days == 0 {
+			days = 1
+		}
+		fcfg := chaos.DefaultSiteLossConfig(*seed)
+		fcfg.Days = days
+		fcfg.Sites = *fleetSize
+		fcfg.StormSite = *stormSite
+		fcfg.Batteries = *batteries
+		fcfg.Servers = *servers
+		fcfg.Migration = *migrate
+		fcfg.LogDir = *fleetLog
+		rep, err := chaos.RunSiteLoss(fcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep)
+		return
 	}
 
 	if *stormDays > 0 {

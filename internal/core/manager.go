@@ -182,6 +182,13 @@ type Manager struct {
 	// live registry (telemetry.go).
 	tel *managerTelemetry
 
+	// modeHook, when set by SetModeHook, observes every survivability
+	// ladder transition — the fleet coordinator's migrate-before-shed
+	// signal. Hooks are observers: they must not call back into the
+	// manager, and they are not journaled state (a recovered controller
+	// needs its hook re-installed by whoever owns it).
+	modeHook func(now time.Duration, from, to OpMode)
+
 	// Reusable scratch for the control pass. Control runs 1,380 times per
 	// simulated day across every experiment, so its group queries and
 	// membership sets must not allocate (see DESIGN.md's performance notes).
@@ -231,6 +238,12 @@ func (m *Manager) CapEvents() int { return m.capEvents }
 
 // Screenings counts SPM coarse-interval screenings.
 func (m *Manager) Screenings() int { return m.screenings }
+
+// EstimatedSoC is the transduced state-of-charge estimate for unit i — the
+// same reading the control plane steers by, exported so the fleet
+// coordinator ranks sites by the SoC their own controllers believe in
+// rather than by ground-truth battery state it could never observe.
+func EstimatedSoC(sys *sim.System, i int) float64 { return estSoC(sys, i) }
 
 // estSoC estimates a unit's state of charge from its transduced terminal
 // voltage, compensating the resistive sag with the transduced current.

@@ -216,6 +216,16 @@ func (m *Manager) ModeTransitions() int {
 // SurvivalEnabled reports whether the survivability layer is active.
 func (m *Manager) SurvivalEnabled() bool { return m.sv != nil }
 
+// SetModeHook registers fn to run after every ladder transition with the
+// transition time and the rungs moved between. The fleet coordinator uses
+// it as the migrate-before-shed trigger: a downgrade means this plant is
+// about to shed work that could instead move to a site with surplus.
+// Passing nil removes the hook. The hook is an observer only — it runs
+// inside the control pass and must not mutate the manager or the plant.
+func (m *Manager) SetModeHook(fn func(now time.Duration, from, to OpMode)) {
+	m.modeHook = fn
+}
+
 // setMode performs one ladder transition, with telemetry and a logbook
 // entry. Transitions are always adjacent (LadderAdjacent); callers only
 // ever move one rung per control pass.
@@ -237,6 +247,9 @@ func (m *Manager) setMode(sys *sim.System, now time.Duration, to OpMode, why str
 		class = logbook.Emergency
 	}
 	sys.Log.Addf(now, class, "survival", "mode %s -> %s: %s", from, to, why)
+	if m.modeHook != nil {
+		m.modeHook(now, from, to)
+	}
 }
 
 // checkpointWindow is the worst-case orderly-shutdown duration: every node

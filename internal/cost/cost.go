@@ -84,6 +84,48 @@ func AWSEgressPerTB(tb float64) Dollars {
 	return AWSEgress(tb) / Dollars(tb)
 }
 
+// --- Fleet federation: cross-site migration accounting -----------------------
+
+// MigrationTariff prices moving work between federated in-situ sites: the
+// inter-site backhaul link, the radio/switching energy spent per shipped
+// gigabyte, and the carrier's per-GB service charge. The energy figure is
+// bookkeeping against the migration decision (is shipping the job cheaper
+// than shedding it?) — the backhaul radio is not modelled inside the plant
+// power simulation.
+type MigrationTariff struct {
+	Link Link
+	// WhPerGB is the end-to-end transmission energy per gigabyte.
+	WhPerGB float64
+	// PerGB is the backhaul service cost per gigabyte.
+	PerGB Dollars
+	// VMImageGB sizes one shipped VM checkpoint image.
+	VMImageGB float64
+}
+
+// DefaultMigrationTariff models a dedicated 100 Mbps point-to-point
+// backhaul between sites: ~3 Wh/GB of radio energy (long-range microwave
+// class) and a $0.10/GB service rate — far below the $10/GB cellular rate
+// because federated sites own the link.
+func DefaultMigrationTariff() MigrationTariff {
+	return MigrationTariff{
+		Link:      Link{"fleet backhaul (100 Mbps)", 100},
+		WhPerGB:   3.0,
+		PerGB:     0.10,
+		VMImageGB: 4,
+	}
+}
+
+// ShipHours is the transfer time for gb gigabytes over the tariff's link.
+func (t MigrationTariff) ShipHours(gb float64) float64 {
+	return t.Link.HoursPerTB() * gb / 1000
+}
+
+// EnergyWh is the transmission energy spent shipping gb gigabytes.
+func (t MigrationTariff) EnergyWh(gb float64) float64 { return t.WhPerGB * gb }
+
+// Cost is the backhaul service charge for shipping gb gigabytes.
+func (t MigrationTariff) Cost(gb float64) Dollars { return Dollars(float64(t.PerGB) * gb) }
+
 // --- Table 1 / §2.1 / §6.5 assumptions --------------------------------------
 
 // Assumptions collects every calibrated price. Callers may adjust fields

@@ -1,0 +1,709 @@
+// Package fleet federates N in-situ plants behind one coordinator — the
+// ROADMAP's production shape, where hundreds of solar+battery sites report
+// to a control plane that moves work toward whichever site currently has
+// energy surplus ("Solar Synergy"'s load-shifting idea applied to the
+// paper's in-situ servers).
+//
+// The coordinator is built on sim.Fleet: every site stays an independent
+// plant with its own battery bank, mode ladder, journal, and telemetry, and
+// the coordinator drives the same interleaved tick loop Fleet.Run uses. At
+// its control period it samples each site's energy state (the transduced
+// SoC its own controller steers by, solar input, ladder rung, deferred-work
+// depth) and — when migration is enabled — moves deferred batch jobs from
+// energy-needy sites to surplus ones and ships completed VM checkpoint
+// images off sites that are evacuating, so a storm-darkened site hands its
+// work to a sunny one instead of sitting on it.
+//
+// Disposability invariants (after qserv's worker/czar split):
+//
+//   - Sites are disposable: losing one loses only that site's in-flight
+//     resources (running VMs, locally queued jobs). Everything already
+//     shipped is unaffected.
+//   - Shipped checkpoints are durable: every migration and checkpoint
+//     shipment is a record in an append-only journal; a checkpoint in
+//     transit to a site that dies is re-routed, not lost.
+//   - The coordinator is recoverable: a new coordinator pointed at the same
+//     migration log replays it and resumes with the same accounting.
+//
+// With migration disabled the coordinator is a pure observer: the federated
+// run is byte-identical to running each site's System.Run alone, which is
+// the calibration bar ("Calibrating Microgrid Simulations") every coupling
+// feature must clear before it ships.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"insure/internal/core"
+	"insure/internal/cost"
+	"insure/internal/sim"
+	"insure/internal/workload"
+)
+
+// Config shapes a Coordinator.
+type Config struct {
+	// Migration enables surplus-driven job migration and checkpoint
+	// shipping. Off, the coordinator only observes, and the federated run
+	// is byte-identical to N solo runs.
+	Migration bool
+	// Period is the coordinator's control interval (default 5 min). It
+	// should be a multiple of the simulation step.
+	Period time.Duration
+	// SurplusSoC is the mean transduced SoC at which a site qualifies as a
+	// migration destination (default 0.55).
+	SurplusSoC float64
+	// DeficitSoC is the mean transduced SoC below which a site starts
+	// evacuating deferred work even before its ladder reacts (default 0.40).
+	DeficitSoC float64
+	// Tariff prices cross-site shipping; the zero value means
+	// cost.DefaultMigrationTariff.
+	Tariff cost.MigrationTariff
+	// LogDir, when set, makes the migration log durable: every shipment is
+	// journaled there, and a new Coordinator on the same directory replays
+	// it (see Recovered).
+	LogDir string
+	// Prepare, when set, runs once per day after the day's Systems are
+	// built and before the first tick — the hook the chaos campaign uses to
+	// attach fault injectors and invariant probes.
+	Prepare func(day int, fl *sim.Fleet)
+}
+
+// Site is one federated plant: a persistent identity whose Sink and
+// Manager live across days (banks and day traces arrive per-day through
+// RunDay's configs).
+type Site struct {
+	Name    string
+	Sink    sim.Sink
+	Manager sim.Manager
+}
+
+// migratableSink is what a sink must support to participate in job
+// migration (sim.BatchSink does; stream sinks don't — cameras are bolted to
+// their site).
+type migratableSink interface {
+	PendingGB() float64
+	TakeJobs() []*workload.Job
+	Schedule(at time.Duration, job *workload.Job)
+}
+
+// siteState is the coordinator's per-site view.
+type siteState struct {
+	name string
+	sink sim.Sink
+	mgr  sim.Manager
+
+	dead bool
+	// evacuate is latched by the migrate-before-shed mode hook when the
+	// site's ladder downgrades, and cleared when it recovers to Normal.
+	evacuate bool
+
+	// Last control-period sample.
+	soc       float64
+	solarW    float64
+	mode      core.OpMode
+	pendingGB float64
+
+	// savedSeen marks how many checkpointed images have already been
+	// considered for shipping.
+	savedSeen int
+
+	// Deadline tracking: lastProcessed is the sink's cumulative output at
+	// the previous pass, stalled counts consecutive in-window passes with
+	// backlog but no progress, and deadline marks a site that will not
+	// finish its backlog before its operating window closes.
+	lastProcessed float64
+	stalled       int
+	deadline      bool
+	// lastInbound is when migrated work last landed (or will land) here;
+	// a freshly loaded site gets a grace period to spin up before the
+	// deadline logic may judge it stalled.
+	lastInbound time.Duration
+
+	// lostPendingGB is the deferred backlog destroyed with the site when it
+	// died (zero for live sites).
+	lostPendingGB float64
+
+	// Durable accounting, rebuilt from the migration log on recovery.
+	jobsOut, jobsIn     int
+	gbOut, gbIn         float64
+	imagesOut, imagesIn int
+}
+
+// needsEvac reports whether the site should be moving work off-site.
+func (st *siteState) needsEvac(deficit float64) bool {
+	return st.evacuate || st.mode >= core.ModeConservative || st.soc < deficit
+}
+
+// shipment is a bundle of checkpoint images in transit between sites.
+type shipment struct {
+	arriveAt time.Duration
+	from, to int
+	images   int
+	gb       float64
+}
+
+// siteFailure is a scheduled site loss (the chaos campaign's storm damage).
+type siteFailure struct {
+	day  int
+	at   time.Duration
+	site int
+	done bool
+}
+
+// Totals is the fleet-wide migration accounting. It is rebuilt from the
+// migration log on recovery, so it survives the coordinator process.
+type Totals struct {
+	Migrations    int // job-migration shipments
+	JobsMoved     int
+	MigratedGB    float64
+	ImagesShipped int
+	CheckpointGB  float64
+	RestoredVMs   int
+	SitesLost     int
+	EnergyWh      float64
+	Cost          cost.Dollars
+}
+
+// Coordinator owns N federated sites and drives their interleaved day loop.
+type Coordinator struct {
+	cfg    Config
+	tariff cost.MigrationTariff
+
+	sites    []siteState
+	inflight []shipment
+	failures []*siteFailure
+
+	// Per-site operating windows for the current day, taken from RunDay's
+	// configs — the deadline the coordinator ships against.
+	winStart, winEnd []time.Duration
+
+	log       *migLog
+	recovered bool
+
+	day    int
+	totals Totals
+
+	tel *fleetTelemetry
+}
+
+// New assembles a coordinator over the given sites. When cfg.LogDir holds a
+// prior migration log, its records are replayed into the coordinator's
+// accounting (Recovered reports this).
+func New(cfg Config, sites []Site) (*Coordinator, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("fleet: coordinator needs at least one site")
+	}
+	for i := range sites {
+		if sites[i].Sink == nil {
+			return nil, fmt.Errorf("fleet: site %d has a nil Sink", i)
+		}
+		if sites[i].Manager == nil {
+			return nil, fmt.Errorf("fleet: site %d has a nil Manager", i)
+		}
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 5 * time.Minute
+	}
+	if cfg.SurplusSoC <= 0 {
+		cfg.SurplusSoC = 0.55
+	}
+	if cfg.DeficitSoC <= 0 {
+		cfg.DeficitSoC = 0.40
+	}
+	tariff := cfg.Tariff
+	if tariff.Link.Mbps <= 0 {
+		tariff = cost.DefaultMigrationTariff()
+	}
+
+	c := &Coordinator{cfg: cfg, tariff: tariff, sites: make([]siteState, len(sites))}
+	for i := range sites {
+		name := sites[i].Name
+		if name == "" {
+			name = fmt.Sprintf("site%d", i)
+		}
+		c.sites[i] = siteState{name: name, sink: sites[i].Sink, mgr: sites[i].Manager}
+	}
+
+	if cfg.Migration {
+		for i := range c.sites {
+			st := &c.sites[i]
+			hooked, ok := st.mgr.(interface {
+				SetModeHook(func(now time.Duration, from, to core.OpMode))
+			})
+			if !ok {
+				continue
+			}
+			hooked.SetModeHook(func(now time.Duration, from, to core.OpMode) {
+				if to == core.ModeNormal {
+					st.evacuate = false
+					return
+				}
+				// Any downgrade onto the ladder means shedding is imminent:
+				// migrate before the shed destroys progress.
+				if to > from && to >= core.ModeConservative {
+					st.evacuate = true
+				}
+			})
+		}
+	}
+
+	if cfg.LogDir != "" {
+		log, records, err := openLog(cfg.LogDir)
+		if err != nil {
+			return nil, err
+		}
+		c.log = log
+		if len(records) > 0 {
+			c.recovered = true
+			for _, r := range records {
+				c.replay(r)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Recovered reports whether New found and replayed a prior migration log.
+func (c *Coordinator) Recovered() bool { return c.recovered }
+
+// Totals returns the fleet-wide migration accounting so far.
+func (c *Coordinator) Totals() Totals { return c.totals }
+
+// Close releases the migration log. The coordinator must not be used after.
+func (c *Coordinator) Close() error {
+	if c.log == nil {
+		return nil
+	}
+	return c.log.close()
+}
+
+// ScheduleSiteFailure arranges for site to die on the given day at sim time
+// at: its cluster crashes (in-flight VMs are lost), it stops ticking, and
+// it leaves the migration pool. The disposability campaign uses this.
+func (c *Coordinator) ScheduleSiteFailure(day int, at time.Duration, site int) error {
+	if site < 0 || site >= len(c.sites) {
+		return fmt.Errorf("fleet: no site %d to fail", site)
+	}
+	c.failures = append(c.failures, &siteFailure{day: day, at: at, site: site})
+	return nil
+}
+
+// replay folds one migration-log record back into the accounting — the
+// recovery path. Physical effects (jobs, checkpoints) live in the plants
+// and sinks, which have their own journals; the coordinator only owns the
+// migration bookkeeping.
+func (c *Coordinator) replay(r Record) {
+	switch r.Kind {
+	case RecJob:
+		c.totals.Migrations++
+		c.totals.JobsMoved += r.Jobs
+		c.totals.MigratedGB += r.GB
+		c.totals.EnergyWh += c.tariff.EnergyWh(r.GB)
+		c.totals.Cost += c.tariff.Cost(r.GB)
+		if r.From >= 0 && r.From < len(c.sites) {
+			c.sites[r.From].jobsOut += r.Jobs
+			c.sites[r.From].gbOut += r.GB
+		}
+		if r.To >= 0 && r.To < len(c.sites) {
+			c.sites[r.To].jobsIn += r.Jobs
+			c.sites[r.To].gbIn += r.GB
+		}
+	case RecCheckpoint:
+		c.totals.ImagesShipped += r.Images
+		c.totals.CheckpointGB += r.GB
+		c.totals.EnergyWh += c.tariff.EnergyWh(r.GB)
+		c.totals.Cost += c.tariff.Cost(r.GB)
+		if r.From >= 0 && r.From < len(c.sites) {
+			c.sites[r.From].imagesOut += r.Images
+		}
+	case RecRestore:
+		c.totals.RestoredVMs += r.Images
+		if r.To >= 0 && r.To < len(c.sites) {
+			c.sites[r.To].imagesIn += r.Images
+		}
+	case RecSiteLoss:
+		c.totals.SitesLost++
+	}
+}
+
+// record journals one migration event and folds it into the accounting.
+func (c *Coordinator) record(r Record) error {
+	if c.log != nil {
+		if err := c.log.append(r); err != nil {
+			return fmt.Errorf("fleet: migration log: %w", err)
+		}
+	}
+	c.replay(r)
+	return nil
+}
+
+// RunDay builds one System per site from cfgs (banks typically carry across
+// days via Config.Bank), and runs the interleaved federated day. Results
+// come back in site order. With Migration off this is exactly Fleet.Run.
+func (c *Coordinator) RunDay(cfgs []sim.Config) ([]sim.Result, error) {
+	if len(cfgs) != len(c.sites) {
+		return nil, fmt.Errorf("fleet: %d day configs for %d sites", len(cfgs), len(c.sites))
+	}
+	specs := make([]sim.FleetSpec, len(c.sites))
+	c.winStart = make([]time.Duration, len(c.sites))
+	c.winEnd = make([]time.Duration, len(c.sites))
+	for i := range c.sites {
+		specs[i] = sim.FleetSpec{Config: cfgs[i], Sink: c.sites[i].sink, Manager: c.sites[i].mgr}
+		c.winStart[i], c.winEnd[i] = cfgs[i].WindowStart, cfgs[i].WindowEnd
+	}
+	fl, err := sim.NewFleet(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range c.sites {
+		// Deadline cursors are per-day: time-of-day restarts at dawn.
+		c.sites[i].stalled = 0
+		c.sites[i].deadline = false
+		c.sites[i].lastInbound = 0
+		if c.day > 0 {
+			if r, ok := c.sites[i].sink.(interface{ Rollover() }); ok {
+				r.Rollover()
+			}
+		}
+	}
+	if c.cfg.Prepare != nil {
+		c.cfg.Prepare(c.day, fl)
+	}
+
+	lo, hi := fl.Bounds()
+	step := fl.Step()
+	for tod := lo; tod < hi; tod += step {
+		for _, sf := range c.failures {
+			if !sf.done && sf.day == c.day && tod >= sf.at {
+				sf.done = true
+				if err := c.failSite(fl, sf.site, tod); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for i := range c.sites {
+			if !c.sites[i].dead {
+				fl.TickSite(i, tod)
+			}
+		}
+		if tod%c.cfg.Period == 0 {
+			if err := c.pass(fl, tod); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res := fl.Finish()
+	c.day++
+	return res, nil
+}
+
+// failSite executes a scheduled site loss.
+func (c *Coordinator) failSite(fl *sim.Fleet, i int, tod time.Duration) error {
+	st := &c.sites[i]
+	if st.dead {
+		return nil
+	}
+	st.dead = true
+	// Only this site's in-flight resources die with it: running VMs crash,
+	// its queued jobs are gone. Work and checkpoints already shipped out are
+	// untouched, and shipments addressed to it will re-route.
+	fl.System(i).Cluster.Crash()
+	if ms, ok := st.sink.(migratableSink); ok {
+		st.lostPendingGB = ms.PendingGB()
+		ms.TakeJobs() // drop them: the site's storage died too
+	}
+	return c.record(Record{Day: c.day, At: tod, Kind: RecSiteLoss, From: i, To: -1})
+}
+
+// sample refreshes the coordinator's view of site i from the live plant.
+// Sampling is read-only: it must not perturb the simulation, or the
+// migration-off run would stop being byte-identical to solo runs.
+func (c *Coordinator) sample(fl *sim.Fleet, i int) {
+	st := &c.sites[i]
+	if st.dead {
+		return
+	}
+	sys := fl.System(i)
+	n := sys.Bank.Size()
+	var soc float64
+	for u := 0; u < n; u++ {
+		soc += core.EstimatedSoC(sys, u)
+	}
+	if n > 0 {
+		soc /= float64(n)
+	}
+	st.soc = soc
+	st.solarW = float64(sys.SolarNow())
+	st.mode = core.ModeNormal
+	if m, ok := st.mgr.(interface{ Mode() core.OpMode }); ok {
+		st.mode = m.Mode()
+	}
+	st.pendingGB = 0
+	if ms, ok := st.sink.(migratableSink); ok {
+		st.pendingGB = ms.PendingGB()
+	}
+}
+
+// donor picks the best migration destination for work leaving site from:
+// the live, batch-capable, non-evacuating Normal-mode site with the highest
+// sampled SoC at or above the surplus threshold. With requireIdle set the
+// destination must also have an empty queue and nothing in flight —
+// deadline-driven shipments may only go where they will actually run now,
+// which keeps end-of-window backlog from bouncing between busy sites.
+// Returns -1 if none qualifies. Ties break toward the lowest index,
+// keeping the choice deterministic.
+func (c *Coordinator) donor(from int, requireIdle bool) int {
+	best, bestSoC := -1, 0.0
+	for j := range c.sites {
+		st := &c.sites[j]
+		if j == from || st.dead || st.deadline || st.needsEvac(c.cfg.DeficitSoC) || st.mode != core.ModeNormal {
+			continue
+		}
+		if _, ok := st.sink.(migratableSink); !ok {
+			continue
+		}
+		if requireIdle {
+			if st.pendingGB > 0 {
+				continue
+			}
+			if fs, ok := st.sink.(interface{ InFlight() int }); ok && fs.InFlight() > 0 {
+				continue
+			}
+		}
+		if st.soc >= c.cfg.SurplusSoC && st.soc > bestSoC {
+			best, bestSoC = j, st.soc
+		}
+	}
+	return best
+}
+
+// inboundGrace is how long a site that just received migrated work is
+// exempt from the stalled-progress deadline check — time to boot VMs and
+// start chewing before the coordinator may move the work again.
+const inboundGrace = 30 * time.Minute
+
+// pass is one coordinator control period: sample every site, then (with
+// migration on) deliver due checkpoint shipments, ship fresh checkpoints
+// off evacuating sites, and migrate deferred jobs toward surplus.
+func (c *Coordinator) pass(fl *sim.Fleet, tod time.Duration) error {
+	for i := range c.sites {
+		c.sample(fl, i)
+	}
+	defer c.publishTelemetry()
+	if !c.cfg.Migration {
+		return nil
+	}
+
+	// Deadline pressure: energy state is not the only reason to evacuate.
+	// A site that is sitting on backlog without progress (its manager is
+	// deferring the work), or whose recent processing rate cannot clear the
+	// backlog before its operating window closes, should hand the work to a
+	// site that will finish it today instead of carrying it into the night.
+	for i := range c.sites {
+		st := &c.sites[i]
+		if st.dead {
+			continue
+		}
+		processed := st.lastProcessed
+		if p, ok := st.sink.(interface{ ProcessedGB() float64 }); ok {
+			processed = p.ProcessedGB()
+		}
+		rateGBh := (processed - st.lastProcessed) / c.cfg.Period.Hours()
+		st.lastProcessed = processed
+		st.deadline = false
+		if st.pendingGB <= 0 || tod < c.winStart[i] || tod >= c.winEnd[i] ||
+			tod < st.lastInbound+inboundGrace {
+			st.stalled = 0
+			continue
+		}
+		if rateGBh <= 0 {
+			st.stalled++
+		} else {
+			st.stalled = 0
+		}
+		remaining := c.winEnd[i] - tod
+		if st.stalled >= 3 || (rateGBh > 0 && st.pendingGB > rateGBh*remaining.Hours()) {
+			st.deadline = true
+		}
+	}
+
+	// Deliver checkpoint shipments whose transfer has completed. A shipment
+	// addressed to a site that died in transit re-routes to a fresh donor —
+	// the checkpoint is durable, only sites are disposable. With no donor
+	// available it stays in flight and retries next pass.
+	kept := c.inflight[:0]
+	for _, sh := range c.inflight {
+		if tod < sh.arriveAt {
+			kept = append(kept, sh)
+			continue
+		}
+		if c.sites[sh.to].dead {
+			if to := c.donor(sh.from, false); to >= 0 {
+				reroute := shipment{
+					arriveAt: tod + shipDur(c.tariff.ShipHours(sh.gb)),
+					from:     sh.to, to: to, images: sh.images, gb: sh.gb,
+				}
+				kept = append(kept, reroute)
+				if err := c.record(Record{Day: c.day, At: tod, Kind: RecCheckpoint,
+					From: sh.to, To: to, Images: sh.images, GB: sh.gb}); err != nil {
+					return err
+				}
+			} else {
+				kept = append(kept, sh) // hold until a donor appears
+			}
+			continue
+		}
+		if err := c.record(Record{Day: c.day, At: tod, Kind: RecRestore,
+			From: sh.from, To: sh.to, Images: sh.images, GB: sh.gb}); err != nil {
+			return err
+		}
+	}
+	c.inflight = kept
+
+	for i := range c.sites {
+		st := &c.sites[i]
+		energyEvac := st.needsEvac(c.cfg.DeficitSoC)
+		if st.dead || !(energyEvac || st.deadline) {
+			continue
+		}
+
+		// Ship newly completed checkpoint images off the evacuating site.
+		// The ladder (or orderly shutdown) produced them; the coordinator
+		// only moves them somewhere sunny. Deadline pressure alone does not
+		// ship images — the VMs there are fine, only the batch queue is late.
+		if saved := fl.System(i).Cluster.VMsSaved(); energyEvac && saved > st.savedSeen {
+			if to := c.donor(i, false); to >= 0 {
+				n := saved - st.savedSeen
+				st.savedSeen = saved
+				gb := float64(n) * c.tariff.VMImageGB
+				c.inflight = append(c.inflight, shipment{
+					arriveAt: tod + shipDur(c.tariff.ShipHours(gb)),
+					from:     i, to: to, images: n, gb: gb,
+				})
+				if err := c.record(Record{Day: c.day, At: tod, Kind: RecCheckpoint,
+					From: i, To: to, Images: n, GB: gb}); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Migrate the deferred batch backlog toward surplus.
+		ms, ok := st.sink.(migratableSink)
+		if !ok || st.pendingGB <= 0 {
+			continue
+		}
+		to := c.donor(i, !energyEvac)
+		if to < 0 {
+			continue
+		}
+		jobs := ms.TakeJobs()
+		if len(jobs) == 0 {
+			continue
+		}
+		dest := c.sites[to].sink.(migratableSink)
+		var gb float64
+		for _, j := range jobs {
+			gb += j.Remaining
+			if !j.Migrated {
+				j.Migrated = true
+				j.Origin = i
+			}
+		}
+		arrive := tod + shipDur(c.tariff.ShipHours(gb))
+		for _, j := range jobs {
+			dest.Schedule(arrive, j)
+		}
+		if arrive > c.sites[to].lastInbound {
+			c.sites[to].lastInbound = arrive
+		}
+		if err := c.record(Record{Day: c.day, At: tod, Kind: RecJob,
+			From: i, To: to, Jobs: len(jobs), GB: gb}); err != nil {
+			return err
+		}
+		st.pendingGB = 0
+	}
+	return nil
+}
+
+// shipDur converts transfer hours to a duration rounded up to a whole
+// second so arrival times stay on the simulation grid.
+func shipDur(hours float64) time.Duration {
+	d := time.Duration(hours * float64(time.Hour))
+	if r := d % time.Second; r != 0 {
+		d += time.Second - r
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// SiteReport is one site's line in the fleet report.
+type SiteReport struct {
+	Name                string
+	Dead                bool
+	SoC                 float64
+	Mode                core.OpMode
+	PendingGB           float64
+	InFlight            int
+	JobsOut, JobsIn     int
+	GBOut, GBIn         float64
+	ImagesOut, ImagesIn int
+	MigratedCompletedGB float64
+	LostPendingGB       float64
+}
+
+// Report is the coordinator's end-of-run summary.
+type Report struct {
+	Days      int
+	Migration bool
+	Recovered bool
+	Totals    Totals
+	Sites     []SiteReport
+}
+
+// Report assembles the current fleet summary.
+func (c *Coordinator) Report() *Report {
+	rep := &Report{
+		Days:      c.day,
+		Migration: c.cfg.Migration,
+		Recovered: c.recovered,
+		Totals:    c.totals,
+		Sites:     make([]SiteReport, len(c.sites)),
+	}
+	for i := range c.sites {
+		st := &c.sites[i]
+		sr := SiteReport{
+			Name: st.name, Dead: st.dead,
+			SoC: st.soc, Mode: st.mode, PendingGB: st.pendingGB,
+			JobsOut: st.jobsOut, JobsIn: st.jobsIn,
+			GBOut: st.gbOut, GBIn: st.gbIn,
+			ImagesOut: st.imagesOut, ImagesIn: st.imagesIn,
+			LostPendingGB: st.lostPendingGB,
+		}
+		if ms, ok := st.sink.(interface{ InFlight() int }); ok {
+			sr.InFlight = ms.InFlight()
+		}
+		if mc, ok := st.sink.(interface{ MigratedCompletedGB() float64 }); ok {
+			sr.MigratedCompletedGB = mc.MigratedCompletedGB()
+		}
+		rep.Sites[i] = sr
+	}
+	return rep
+}
+
+// String is the one-line fleet summary.
+func (r *Report) String() string {
+	live := 0
+	for _, s := range r.Sites {
+		if !s.Dead {
+			live++
+		}
+	}
+	return fmt.Sprintf("fleet: %d sites (%d live), %d days, migration %v: %d shipments moved %d jobs / %.1f GB, %d images (%.1f GB) shipped, %d restored, %.1f Wh / $%.2f backhaul, %d sites lost",
+		len(r.Sites), live, r.Days, r.Migration,
+		r.Totals.Migrations, r.Totals.JobsMoved, r.Totals.MigratedGB,
+		r.Totals.ImagesShipped, r.Totals.CheckpointGB, r.Totals.RestoredVMs,
+		r.Totals.EnergyWh, float64(r.Totals.Cost), r.Totals.SitesLost)
+}

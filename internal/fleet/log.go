@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"insure/internal/journal"
+)
+
+// The migration log is the coordinator's durable state, built on the same
+// append-only journal layer the per-site control planes use (PR 4): one
+// CRC-framed record per migration event. The plants and sinks own the
+// physical consequences; the log owns the accounting, so a replacement
+// coordinator replays it and knows exactly what has been shipped where.
+// Restore records for shipments still in flight at a crash are simply
+// absent — the log then shows a checkpoint as shipped but not yet restored,
+// which is the truth.
+
+// RecordKind tags a migration-log record.
+type RecordKind uint8
+
+const (
+	// RecJob is a bundle of deferred batch jobs migrating between sites.
+	RecJob RecordKind = iota + 1
+	// RecCheckpoint is a bundle of VM checkpoint images leaving a site
+	// (including a re-route away from a dead destination).
+	RecCheckpoint
+	// RecRestore is a checkpoint bundle landing at its destination.
+	RecRestore
+	// RecSiteLoss marks a site dying with its in-flight resources.
+	RecSiteLoss
+)
+
+func (k RecordKind) String() string {
+	switch k {
+	case RecJob:
+		return "job"
+	case RecCheckpoint:
+		return "checkpoint"
+	case RecRestore:
+		return "restore"
+	case RecSiteLoss:
+		return "site-loss"
+	default:
+		return fmt.Sprintf("RecordKind(%d)", int(k))
+	}
+}
+
+// Record is one migration-log entry.
+type Record struct {
+	Day    int
+	At     time.Duration
+	Kind   RecordKind
+	From   int // source site index (the dead site for RecSiteLoss)
+	To     int // destination site index (-1 when not applicable)
+	Jobs   int
+	GB     float64
+	Images int
+}
+
+// recordVersion is the codec version of encoded records.
+const recordVersion = 1
+
+func encodeRecord(enc *journal.Encoder, r Record) {
+	enc.Reset()
+	enc.U8(recordVersion)
+	enc.U8(uint8(r.Kind))
+	enc.Int(r.Day)
+	enc.Dur(r.At)
+	enc.Int(r.From)
+	enc.Int(r.To)
+	enc.Int(r.Jobs)
+	enc.F64(r.GB)
+	enc.Int(r.Images)
+}
+
+func decodeRecord(b []byte) (Record, error) {
+	d := journal.NewDecoder(b)
+	d.ExpectVersion(recordVersion)
+	r := Record{
+		Kind: RecordKind(d.U8()),
+		Day:  d.Int(),
+		At:   d.Dur(),
+		From: d.Int(),
+		To:   d.Int(),
+		Jobs: d.Int(),
+		GB:   d.F64(),
+	}
+	r.Images = d.Int()
+	if err := d.Err(); err != nil {
+		return Record{}, fmt.Errorf("fleet: corrupt migration record: %w", err)
+	}
+	return r, nil
+}
+
+// migLog is the journal-backed migration log.
+type migLog struct {
+	store *journal.Store
+	enc   journal.Encoder
+}
+
+// openLog opens (or creates) the migration log in dir and returns every
+// record already present — the replay set.
+func openLog(dir string) (*migLog, []Record, error) {
+	res, err := journal.Load(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var records []Record
+	for _, payload := range res.Entries {
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		records = append(records, r)
+	}
+	store, err := journal.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &migLog{store: store}, records, nil
+}
+
+func (l *migLog) append(r Record) error {
+	encodeRecord(&l.enc, r)
+	_, err := l.store.Append(l.enc.Bytes())
+	return err
+}
+
+func (l *migLog) close() error { return l.store.Close() }
+
+// ReplayLog reads the migration log in dir without opening it for writing —
+// the forensic view of what a (possibly dead) coordinator shipped.
+func ReplayLog(dir string) ([]Record, error) {
+	res, err := journal.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	records := make([]Record, 0, len(res.Entries))
+	for _, payload := range res.Entries {
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, r)
+	}
+	return records, nil
+}

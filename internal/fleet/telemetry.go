@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"insure/internal/telemetry"
+)
+
+// fleetTelemetry mirrors the coordinator's accounting into a live registry.
+// Fleet-wide series are plain instruments updated as events happen;
+// per-site series carry a site label. Everything is published from the
+// coordinator's single-threaded control pass, so scrapes (which read
+// atomics) never race the run.
+type fleetTelemetry struct {
+	sites     *telemetry.Gauge
+	sitesLive *telemetry.Gauge
+
+	migrations    *telemetry.Counter
+	jobsMoved     *telemetry.Counter
+	imagesShipped *telemetry.Counter
+	restored      *telemetry.Counter
+	sitesLost     *telemetry.Counter
+
+	migratedGB   *telemetry.Gauge
+	checkpointGB *telemetry.Gauge
+	energyWh     *telemetry.Gauge
+	costUSD      *telemetry.Gauge
+
+	siteUp      []*telemetry.Gauge
+	siteSoC     []*telemetry.Gauge
+	siteMode    []*telemetry.Gauge
+	sitePending []*telemetry.Gauge
+}
+
+// AttachTelemetry publishes the coordinator's fleet- and site-level series
+// into reg and seeds them from the current (possibly replayed) accounting.
+func (c *Coordinator) AttachTelemetry(reg *telemetry.Registry) {
+	t := &fleetTelemetry{
+		sites:     reg.Gauge("insure_fleet_sites", "Sites under this coordinator."),
+		sitesLive: reg.Gauge("insure_fleet_sites_live", "Sites currently alive."),
+
+		migrations:    reg.Counter("insure_fleet_migrations_total", "Job-migration shipments dispatched."),
+		jobsMoved:     reg.Counter("insure_fleet_jobs_moved_total", "Batch jobs moved between sites."),
+		imagesShipped: reg.Counter("insure_fleet_checkpoint_images_shipped_total", "VM checkpoint images shipped off evacuating sites."),
+		restored:      reg.Counter("insure_fleet_checkpoint_images_restored_total", "Shipped checkpoint images landed at a destination."),
+		sitesLost:     reg.Counter("insure_fleet_sites_lost_total", "Sites lost with their in-flight resources."),
+
+		migratedGB:   reg.Gauge("insure_fleet_migrated_gb", "Cumulative deferred-work volume migrated."),
+		checkpointGB: reg.Gauge("insure_fleet_checkpoint_gb", "Cumulative checkpoint volume shipped."),
+		energyWh:     reg.Gauge("insure_fleet_migration_energy_wh", "Cumulative backhaul transmission energy."),
+		costUSD:      reg.Gauge("insure_fleet_migration_cost_usd", "Cumulative backhaul service cost."),
+	}
+	for i := range c.sites {
+		lbl := telemetry.Label{Key: "site", Value: c.sites[i].name}
+		t.siteUp = append(t.siteUp, reg.Gauge("insure_fleet_site_up", "1 while the site is alive.", lbl))
+		t.siteSoC = append(t.siteSoC, reg.Gauge("insure_fleet_site_soc", "Site mean transduced state of charge.", lbl))
+		t.siteMode = append(t.siteMode, reg.Gauge("insure_fleet_site_mode", "Site survivability rung (0=normal).", lbl))
+		t.sitePending = append(t.sitePending, reg.Gauge("insure_fleet_site_pending_gb", "Site deferred batch backlog.", lbl))
+	}
+	c.tel = t
+	c.publishTelemetry()
+}
+
+// publishTelemetry pushes the current accounting into the registry. Called
+// at attach time and after every coordinator pass.
+func (c *Coordinator) publishTelemetry() {
+	t := c.tel
+	if t == nil {
+		return
+	}
+	live := 0
+	for i := range c.sites {
+		st := &c.sites[i]
+		up := 1.0
+		if st.dead {
+			up = 0
+		} else {
+			live++
+		}
+		t.siteUp[i].Set(up)
+		t.siteSoC[i].Set(st.soc)
+		t.siteMode[i].Set(float64(st.mode))
+		t.sitePending[i].Set(st.pendingGB)
+	}
+	t.sites.Set(float64(len(c.sites)))
+	t.sitesLive.Set(float64(live))
+
+	tot := c.totals
+	setCounter(t.migrations, tot.Migrations)
+	setCounter(t.jobsMoved, tot.JobsMoved)
+	setCounter(t.imagesShipped, tot.ImagesShipped)
+	setCounter(t.restored, tot.RestoredVMs)
+	setCounter(t.sitesLost, tot.SitesLost)
+	t.migratedGB.Set(tot.MigratedGB)
+	t.checkpointGB.Set(tot.CheckpointGB)
+	t.energyWh.Set(tot.EnergyWh)
+	t.costUSD.Set(float64(tot.Cost))
+}
+
+// setCounter advances a monotonic counter to the given absolute total.
+func setCounter(c *telemetry.Counter, total int) {
+	if d := int64(total) - c.Value(); d > 0 {
+		c.Add(d)
+	}
+}

@@ -45,6 +45,17 @@ func NewFleet(specs []FleetSpec) (*Fleet, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("sim: fleet needs at least one plant")
 	}
+	for i := range specs {
+		// A nil Sink would panic deep inside New, and a nil Manager would
+		// silently run the plant unmanaged; both are spec bugs, named by
+		// index so a caller assembling N specs can find the bad one.
+		if specs[i].Sink == nil {
+			return nil, fmt.Errorf("sim: fleet plant %d has a nil Sink", i)
+		}
+		if specs[i].Manager == nil {
+			return nil, fmt.Errorf("sim: fleet plant %d has a nil Manager", i)
+		}
+	}
 	step := specs[0].Config.Step
 	if step <= 0 {
 		step = time.Second
@@ -133,13 +144,16 @@ func (f *Fleet) SimulatedTime() time.Duration {
 	return total
 }
 
-// Run steps every plant over its full-day span, interleaved tick-by-tick
-// (all plants advance through time-of-day together), and returns each
-// plant's Result in input order. Because the plants are independent, the
-// results are identical to calling systems[i].Run(mgrs[i]) one after
-// another.
-func (f *Fleet) Run() []Result {
-	lo, hi := f.starts[0], f.ends[0]
+// Manager returns plant i's power manager.
+func (f *Fleet) Manager(i int) Manager { return f.mgrs[i] }
+
+// Step is the shared simulation step.
+func (f *Fleet) Step() time.Duration { return f.step }
+
+// Bounds returns the union [lo, hi) of every plant's span — the range the
+// interleaved batch loop walks.
+func (f *Fleet) Bounds() (lo, hi time.Duration) {
+	lo, hi = f.starts[0], f.ends[0]
 	for i := 1; i < len(f.systems); i++ {
 		if f.starts[i] < lo {
 			lo = f.starts[i]
@@ -148,16 +162,42 @@ func (f *Fleet) Run() []Result {
 			hi = f.ends[i]
 		}
 	}
-	for tod := lo; tod < hi; tod += f.step {
-		for i, sys := range f.systems {
-			if tod >= f.starts[i] && tod < f.ends[i] {
-				sys.Tick(tod, f.mgrs[i])
-			}
-		}
+	return lo, hi
+}
+
+// Tick advances every plant whose span covers tod by one step.
+func (f *Fleet) Tick(tod time.Duration) {
+	for i := range f.systems {
+		f.TickSite(i, tod)
 	}
+}
+
+// TickSite advances plant i alone if its span covers tod. The federation
+// coordinator uses it to keep the survivors ticking after a site is lost.
+func (f *Fleet) TickSite(i int, tod time.Duration) {
+	if tod >= f.starts[i] && tod < f.ends[i] {
+		f.systems[i].Tick(tod, f.mgrs[i])
+	}
+}
+
+// Finish closes out every plant and returns the Results in input order.
+func (f *Fleet) Finish() []Result {
 	out := make([]Result, len(f.systems))
 	for i, sys := range f.systems {
 		out[i] = sys.Finish(f.mgrs[i])
 	}
 	return out
+}
+
+// Run steps every plant over its full-day span, interleaved tick-by-tick
+// (all plants advance through time-of-day together), and returns each
+// plant's Result in input order. Because the plants are independent, the
+// results are identical to calling systems[i].Run(mgrs[i]) one after
+// another.
+func (f *Fleet) Run() []Result {
+	lo, hi := f.Bounds()
+	for tod := lo; tod < hi; tod += f.step {
+		f.Tick(tod)
+	}
+	return f.Finish()
 }

@@ -2,6 +2,7 @@ package sim_test
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -111,7 +112,39 @@ func TestFleetSimulatedTime(t *testing.T) {
 func TestFleetRejectsMismatchedSteps(t *testing.T) {
 	specs := fleetSpecs(2)
 	specs[1].Config.Step = 2 * time.Second
-	if _, err := sim.NewFleet(specs); err == nil {
+	_, err := sim.NewFleet(specs)
+	if err == nil {
 		t.Fatal("want error for mismatched steps")
+	}
+	// The message must name both steps so a caller assembling N specs can
+	// see which value is the odd one out.
+	if want := "disagree on step (2s vs 1s)"; !strings.Contains(err.Error(), want) {
+		t.Errorf("step-mismatch error %q does not contain %q", err, want)
+	}
+}
+
+// TestFleetRejectsNilSpecs covers the per-index Sink and Manager
+// validation: a nil Sink would panic deep inside sim.New, and a nil
+// Manager would silently run the plant unmanaged; both must be named by
+// plant index.
+func TestFleetRejectsNilSpecs(t *testing.T) {
+	specs := fleetSpecs(3)
+	specs[2].Sink = nil
+	_, err := sim.NewFleet(specs)
+	if err == nil {
+		t.Fatal("want error for nil Sink")
+	}
+	if want := "plant 2 has a nil Sink"; !strings.Contains(err.Error(), want) {
+		t.Errorf("nil-sink error %q does not contain %q", err, want)
+	}
+
+	specs = fleetSpecs(3)
+	specs[1].Manager = nil
+	_, err = sim.NewFleet(specs)
+	if err == nil {
+		t.Fatal("want error for nil Manager")
+	}
+	if want := "plant 1 has a nil Manager"; !strings.Contains(err.Error(), want) {
+		t.Errorf("nil-manager error %q does not contain %q", err, want)
 	}
 }

@@ -15,6 +15,16 @@ type BatchSink struct {
 
 	next    int
 	lastNow time.Duration
+
+	// scheduled holds one-off future arrivals — migrated jobs in flight
+	// from another site, due when their cross-site transfer completes.
+	scheduled []scheduledJob
+}
+
+// scheduledJob is one in-flight migrated arrival.
+type scheduledJob struct {
+	at  time.Duration
+	job *workload.Job
 }
 
 // NewSeismicSink builds the paper's seismic case study: 114 GB jobs
@@ -37,7 +47,53 @@ func (b *BatchSink) Tick(now, dt time.Duration, workVMh float64, nVMs int) float
 		b.Queue.Add(b.Arrivals[b.next], b.JobGB)
 		b.next++
 	}
+	for len(b.scheduled) > 0 && now >= b.scheduled[0].at {
+		j := b.scheduled[0].job
+		j.Arrived = now // latency at this site starts when the transfer lands
+		b.Queue.Inject(j)
+		b.scheduled = b.scheduled[1:]
+	}
 	return b.Queue.Tick(now, workVMh, nVMs)
+}
+
+// Schedule queues a one-off future arrival: a job migrating in from another
+// site, landing once its transfer completes at time at. Insertion keeps the
+// list sorted by due time (ties keep insertion order) so injection is
+// deterministic.
+func (b *BatchSink) Schedule(at time.Duration, job *workload.Job) {
+	i := len(b.scheduled)
+	for i > 0 && b.scheduled[i-1].at > at {
+		i--
+	}
+	b.scheduled = append(b.scheduled, scheduledJob{})
+	copy(b.scheduled[i+1:], b.scheduled[i:])
+	b.scheduled[i] = scheduledJob{at: at, job: job}
+}
+
+// PendingGB is the queue's deferred backlog (in-flight scheduled arrivals
+// are counted by the shipping side, not here).
+func (b *BatchSink) PendingGB() float64 { return b.Queue.PendingGB() }
+
+// TakeJobs removes and returns every queued job — the evacuation half of a
+// migration; the jobs land elsewhere via Schedule.
+func (b *BatchSink) TakeJobs() []*workload.Job { return b.Queue.TakePending() }
+
+// InFlight reports jobs scheduled but not yet landed.
+func (b *BatchSink) InFlight() int { return len(b.scheduled) }
+
+// MigratedCompletedGB is the completed volume that arrived via migration.
+func (b *BatchSink) MigratedCompletedGB() float64 { return b.Queue.MigratedCompletedGB() }
+
+// Rollover rearms the sink for the next simulated day: the daily arrival
+// schedule restarts, and any still-in-flight migrated job lands at the top
+// of the new day (the backhaul keeps moving data overnight). Queue backlog
+// and completion history carry over untouched.
+func (b *BatchSink) Rollover() {
+	b.next = 0
+	b.lastNow = 0
+	for i := range b.scheduled {
+		b.scheduled[i].at = 0
+	}
 }
 
 // HasWork reports pending jobs.

@@ -139,6 +139,14 @@ type Job struct {
 	Remaining float64 // GB
 	Arrived   time.Duration
 	Done      time.Duration // zero until completion
+
+	// Migrated marks a job shipped in from another plant by the fleet
+	// coordinator; Origin is the donor's site index (meaningless when
+	// Migrated is false). Work already done before migration travels with
+	// the job: Remaining is preserved across the transfer, because the
+	// in-progress state rides the shipped VM checkpoint.
+	Migrated bool
+	Origin   int
 }
 
 // BatchQueue feeds intermittent batch jobs (seismic surveys) to the
@@ -182,6 +190,36 @@ func (q *BatchQueue) Tick(now time.Duration, workVMh float64, nVMs int) float64 
 	}
 	q.processed += used
 	return used
+}
+
+// TakePending removes and returns every queued job — including a
+// partially-processed head job, whose in-flight state is assumed to travel
+// as a shipped VM checkpoint — leaving the queue empty. The fleet
+// coordinator uses it to evacuate a darkened site's deferred work.
+func (q *BatchQueue) TakePending() []*Job {
+	out := q.pending
+	q.pending = nil
+	return out
+}
+
+// Inject enqueues an already-built job (a migrated arrival from another
+// site). The job keeps its Remaining so work done before the transfer is
+// not repeated.
+func (q *BatchQueue) Inject(j *Job) {
+	q.pending = append(q.pending, j)
+}
+
+// MigratedCompletedGB is the total size of completed jobs that arrived via
+// migration — the "deferred work finished at a surplus site" metric of the
+// fleet campaign.
+func (q *BatchQueue) MigratedCompletedGB() float64 {
+	var gb float64
+	for _, j := range q.completed {
+		if j.Migrated {
+			gb += j.Size
+		}
+	}
+	return gb
 }
 
 // PendingGB is the unprocessed backlog.
