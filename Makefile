@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet vet check bench bench-json bench-scaling perf-diff experiments clean
+.PHONY: all build test race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet smoke-gateway race-gateway vet check bench bench-json bench-scaling perf-diff experiments clean
 
 all: build
 
@@ -80,6 +80,20 @@ race-fleet:
 	$(GO) test -race -count=1 ./internal/fleet
 	$(GO) test -race -count=1 -run 'TestSiteLoss' -v ./internal/chaos
 
+# smoke-gateway runs the serving-plane gates: admission/ladder/deadline
+# unit tests plus a single-site load replay through the insure-gateway
+# entry point (seeded; exits nonzero on any admitted-then-dropped
+# request).
+smoke-gateway:
+	$(GO) test -count=1 -run 'TestLadderSheddingByClass|TestRetriageOnMidFlightDowngrade|TestModeChurnNeverDropsAdmitted|TestLoadTestSmoke' ./internal/gateway
+	$(GO) run ./cmd/insure-gateway -loadtest -loadtest-sites 1 -loadtest-qps 5
+
+# race-gateway runs the full gateway suite — concurrent admits against a
+# ticking simulated plant, HTTP handlers, and the load harness — under
+# the race detector.
+race-gateway:
+	$(GO) test -race -count=1 ./internal/gateway
+
 # bench-scaling measures the plant-years/sec workers-scaling curve on a
 # short campaign and enforces the speedup gate: on N >= 2 cores, speedup at
 # N workers must reach 0.7*N or the target fails. On a single-core machine
@@ -92,8 +106,8 @@ bench-scaling:
 # runner are exercised concurrently there), the injected-fault smoke
 # simulation, the telemetry-plane smoke test, the crash-recovery chaos
 # campaigns, the energy-emergency survivability gates, the fleet-federation
-# gates, and the multicore scaling gate.
-check: vet build race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet bench-scaling
+# gates, the serving-plane gates, and the multicore scaling gate.
+check: vet build race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet smoke-gateway race-gateway bench-scaling
 
 # bench runs the simulation hot-path and experiment benchmarks.
 bench:

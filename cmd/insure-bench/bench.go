@@ -12,6 +12,7 @@ import (
 
 	"insure/internal/core"
 	"insure/internal/experiments"
+	"insure/internal/gateway"
 	"insure/internal/sim"
 	"insure/internal/trace"
 )
@@ -59,6 +60,9 @@ type benchReport struct {
 	Benchmarks       []benchCase     `json:"benchmarks"`
 	Engine           engineTiming    `json:"experiment_engine"`
 	CampaignScaling  campaignScaling `json:"campaign_scaling"`
+	// ServingPlane is the gateway load sweep: p50/p99 latency vs offered
+	// QPS vs the plant's energy regime (internal/gateway's harness).
+	ServingPlane *gateway.ServingPlane `json:"serving_plane"`
 }
 
 // record converts a testing.BenchmarkResult, carrying through any domain
@@ -136,6 +140,20 @@ func writeBenchJSON(path string, workers, scalingCells int) error {
 	for _, pt := range rep.CampaignScaling.Points {
 		if pt.PlantYearsPerSec > rep.PlantYearsPerSec {
 			rep.PlantYearsPerSec = pt.PlantYearsPerSec
+		}
+	}
+
+	fmt.Fprintln(os.Stderr, "sweeping serving-plane load harness...")
+	rep.ServingPlane, err = gateway.RunLoadTest(gateway.DefaultLoadConfig(2015))
+	if err != nil {
+		return err
+	}
+	for _, rr := range rep.ServingPlane.Regimes {
+		for _, pt := range rr.Points {
+			if pt.AdmittedDropped != 0 {
+				return fmt.Errorf("serving plane: %d requests admitted then dropped in %s @ %g qps",
+					pt.AdmittedDropped, rr.Name, pt.QPS)
+			}
 		}
 	}
 

@@ -1,0 +1,253 @@
+// Command insure-gateway serves interactive queries against a live
+// simulated plant with energy-aware admission control: the serving plane
+// from internal/gateway fronting one InSURE-managed system. Requests are
+// admitted, queued, or shed according to the plant's state of charge, the
+// supply forecast, and the survivability ladder; every rejection carries a
+// forecast-derived Retry-After, every admission an energy-price account.
+//
+// Usage:
+//
+//	insure-gateway -addr :8080 -weather sunny -accel 60
+//	insure-gateway -addr :8080 -weather rainy -peak 250 -soc 0.48
+//	insure-gateway -loadtest
+//	insure-gateway -loadtest -loadtest-qps 5,15,40 -json sweep.json
+//
+// Live mode endpoints:
+//
+//	GET /query?class=critical|standard|besteffort — admit one request
+//	GET /stats    — cumulative serving-plane accounting
+//	GET /metrics  — Prometheus exposition (plant + gateway)
+//	GET /healthz  — liveness; 503 "draining" at the Blackout rung
+//
+// The daemon simulates one plant-day at -accel× wall speed. When the day
+// completes the plant state freezes (the gateway keeps serving against the
+// final state); -loadtest is the batch alternative that replays a full
+// QPS × weather sweep and exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"insure/internal/core"
+	"insure/internal/gateway"
+	"insure/internal/genset"
+	"insure/internal/sim"
+	"insure/internal/solar"
+	"insure/internal/telemetry"
+	"insure/internal/trace"
+	"insure/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insure-gateway: ")
+
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	weather := flag.String("weather", "sunny", "sky model: sunny, cloudy, rainy")
+	seed := flag.Int64("seed", 2015, "trace seed")
+	peak := flag.Float64("peak", 0, "scale trace to this peak power (W); 0 = natural")
+	initSoC := flag.Float64("soc", 0, "initial battery state of charge; 0 = sim default")
+	batteries := flag.Int("batteries", 6, "battery units in the e-Buffer")
+	servers := flag.Int("servers", 4, "server nodes in the cluster")
+	survival := flag.Bool("survival", true, "arm the survivability ladder (the gateway's mode source)")
+	gensetFit := flag.Bool("genset", false, "fit a diesel backup generator")
+	accel := flag.Float64("accel", 60, "simulated seconds per wall second")
+	baseQPS := flag.Float64("base-qps", 25, "full-capacity serving rate at ModeNormal")
+	loadtest := flag.Bool("loadtest", false, "run the QPS x SoC load sweep instead of serving, print results, exit")
+	ltQPS := flag.String("loadtest-qps", "5,15,40", "comma-separated offered QPS levels for -loadtest")
+	ltSites := flag.Int("loadtest-sites", 2, "fleet sites for -loadtest")
+	jsonOut := flag.String("json", "", "with -loadtest, also write the serving_plane JSON block to this path")
+	flag.Parse()
+
+	cond, err := parseWeather(*weather)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *loadtest {
+		runLoadtest(cond, *seed, *ltQPS, *ltSites, *batteries, *servers, *baseQPS, *peak, *initSoC, *jsonOut)
+		return
+	}
+
+	// Build the plant: one simulated system under the InSURE manager with
+	// the survivability ladder armed (without it the gateway would never
+	// leave ModeNormal and admission would be capacity-only).
+	tr := trace.Synthesize(cond, *seed, time.Second)
+	if *peak > 0 {
+		tr = tr.ScaleToPeak(units.Watt(*peak))
+	}
+	scfg := sim.DefaultConfig(tr)
+	scfg.BatteryCount = *batteries
+	scfg.ServerCount = *servers
+	if *initSoC > 0 {
+		scfg.InitialSoC = *initSoC
+	}
+	if *gensetFit {
+		scfg.Secondary = genset.New(genset.DieselParams())
+	}
+	sys, err := sim.New(scfg, sim.NewSeismicSink())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcfg := core.DefaultConfig()
+	if *survival {
+		mcfg.Survival = core.DefaultSurvivalConfig()
+	}
+	mgr := core.New(mcfg, *batteries)
+
+	reg := telemetry.NewRegistry()
+	sys.AttachTelemetry(reg)
+	mgr.AttachTelemetry(reg)
+
+	gcfg := gateway.DefaultConfig()
+	gcfg.BaseQPS = *baseQPS
+	plant := &lockedPlant{inner: gateway.SimPlant{Sys: sys, Mgr: mgr}}
+	gw := gateway.New(gcfg, plant)
+	gw.AttachTelemetry(reg)
+
+	// The sim clock, readable from every HTTP goroutine.
+	var clock atomic.Int64
+	lo, hi := sys.Span()
+	clock.Store(int64(lo))
+	now := func() time.Duration { return time.Duration(clock.Load()) }
+
+	// Tick loop: advance the plant at accel× wall speed. Lock order is
+	// gateway.mu → plant.mu (Advance and Admit take the gateway lock, then
+	// read the plant), so the plant lock is released before Advance.
+	go func() {
+		step := scfg.Step
+		tod := lo
+		wall := time.NewTicker(100 * time.Millisecond)
+		defer wall.Stop()
+		var due float64
+		for range wall.C {
+			due += *accel * 0.1
+			for due >= step.Seconds() {
+				due -= step.Seconds()
+				if tod >= hi {
+					continue
+				}
+				plant.mu.Lock()
+				sys.Tick(tod, mgr)
+				plant.mu.Unlock()
+				tod += step
+				gw.Advance(tod)
+				clock.Store(int64(tod))
+				reg.SetClock(tod)
+				if tod >= hi {
+					log.Printf("simulated day complete at %v; plant state frozen, still serving", tod)
+				}
+			}
+		}
+	}()
+
+	srv := &gateway.Server{GW: gw, Now: now}
+	mux := srv.Mux()
+	mux.Handle("/metrics", reg.MetricsHandler())
+	mux.Handle("/healthz", reg.HealthzHandler())
+	log.Printf("serving plane on http://%s/query (weather %s, accel %.0fx, base %.0f qps)",
+		*addr, *weather, *accel, *baseQPS)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// lockedPlant serialises plant reads against the tick loop: the simulated
+// System is not internally synchronised, and gateway admissions read it
+// from HTTP goroutines while the tick loop mutates it.
+type lockedPlant struct {
+	mu    sync.Mutex
+	inner gateway.SimPlant
+}
+
+func (p *lockedPlant) State(now time.Duration) gateway.State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inner.State(now)
+}
+
+func (p *lockedPlant) ForecastW(at time.Duration) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inner.ForecastW(at)
+}
+
+func parseWeather(s string) (solar.Condition, error) {
+	switch s {
+	case "sunny":
+		return solar.Sunny, nil
+	case "cloudy":
+		return solar.Cloudy, nil
+	case "rainy":
+		return solar.Rainy, nil
+	}
+	return solar.Sunny, fmt.Errorf("unknown weather %q", s)
+}
+
+// runLoadtest executes the sweep and prints the table BENCH.json records.
+func runLoadtest(cond solar.Condition, seed int64, qpsSpec string, sites, batteries, servers int, baseQPS, peak, initSoC float64, jsonOut string) {
+	var qps []float64
+	for _, part := range strings.Split(qpsSpec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			log.Fatalf("-loadtest-qps %q: need positive numbers", part)
+		}
+		qps = append(qps, v)
+	}
+	cfg := gateway.DefaultLoadConfig(seed)
+	cfg.Sites = sites
+	cfg.QPS = qps
+	cfg.Batteries = batteries
+	cfg.Servers = servers
+	cfg.Gateway.BaseQPS = baseQPS
+	// -weather/-peak/-soc override the first regime when given explicitly;
+	// the default sweep keeps both the sunny and storm regimes.
+	if peak > 0 || initSoC > 0 || cond != solar.Sunny {
+		cfg.Regimes = []gateway.Regime{{Name: cond.String(), Weather: cond, PeakW: peak, InitialSoC: initSoC}}
+	}
+
+	start := time.Now()
+	sp, err := gateway.RunLoadTest(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving-plane sweep: %d sites, %.0f s span, %d requests replayed in %.1fs wall\n\n",
+		sp.Sites, sp.SpanSeconds, sp.RequestsTotal, time.Since(start).Seconds())
+	for _, rr := range sp.Regimes {
+		fmt.Printf("%s:\n", rr.Name)
+		fmt.Printf("  %8s %12s %9s %9s %9s %8s %8s %7s %7s %7s  %s\n",
+			"qps", "req/day", "admitted", "queued", "shed", "p50 ms", "p99 ms", "soc", "minsoc", "Wh", "modes")
+		for _, p := range rr.Points {
+			fmt.Printf("  %8.0f %12.0f %9d %9d %9d %8.1f %8.1f %7.2f %7.2f %7.1f  %s\n",
+				p.QPS, p.PerDay, p.Admitted, p.Queued, p.Shed, p.P50Ms, p.P99Ms,
+				p.MeanSoC, p.MinSoC, p.EnergyWh, strings.Join(p.ModesSeen, ","))
+			if p.AdmittedDropped != 0 {
+				log.Fatalf("invariant violated: %d requests admitted then dropped", p.AdmittedDropped)
+			}
+		}
+		fmt.Println()
+	}
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sp); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote serving_plane block to %s\n", jsonOut)
+	}
+}

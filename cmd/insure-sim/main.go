@@ -71,6 +71,22 @@ func main() {
 	fleetLog := flag.String("fleet-log", "", "journal the coordinator's migration log to this directory")
 	flag.Parse()
 
+	// Validate flag combinations before doing any work: the three run
+	// shapes (single day, storm campaign, federated fleet) each consume a
+	// different flag subset, and a flag the chosen shape ignores is a user
+	// error worth naming, not something to drop silently.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *fleetSize == 0 {
+		delete(set, "fleet") // explicit -fleet 0 means "no fleet"
+	}
+	if *stormDays == 0 {
+		delete(set, "storm-days")
+	}
+	if err := validateFlags(set); err != nil {
+		log.Fatal(err)
+	}
+
 	faultPlan, ferr := faults.Parse(*faultSpec)
 	if ferr != nil {
 		log.Fatal(ferr)
@@ -355,6 +371,56 @@ func main() {
 		return
 	}
 	report(run(*policy))
+}
+
+// fleetIgnores are the flags the federated -fleet campaign silently
+// dropped before validation: it synthesizes its own per-site traces and
+// drives the chaos site-loss harness, so the single-day plumbing does not
+// apply. (-survival is implied per site, not optional.)
+var fleetIgnores = []string{
+	"kill-at", "torn-kill", "state-dir", "compare", "parallel", "faults",
+	"survival", "genset", "telemetry-addr", "dump-frames", "dump-log",
+	"dump-telemetry", "dump-trace", "trace", "policy", "weather",
+	"workload", "peak", "energy",
+}
+
+// stormIgnores are the flags the single-site -storm-days campaign ignores.
+// Unlike the fleet path it does honor -survival and -genset (the ladder
+// and backup generator are the campaign's subject).
+var stormIgnores = []string{
+	"kill-at", "torn-kill", "state-dir", "compare", "parallel", "faults",
+	"telemetry-addr", "dump-frames", "dump-log", "dump-telemetry",
+	"dump-trace", "trace", "policy", "weather", "workload", "peak", "energy",
+}
+
+// fleetRequires are the flags that only mean something under -fleet.
+var fleetRequires = []string{"storm-site", "migrate", "fleet-log"}
+
+// validateFlags rejects flag combinations the selected run shape would
+// silently ignore. set holds the names of explicitly provided flags, with
+// "fleet" and "storm-days" removed when explicitly zero.
+func validateFlags(set map[string]bool) error {
+	if set["fleet"] {
+		for _, bad := range fleetIgnores {
+			if set[bad] {
+				return fmt.Errorf("-fleet runs the federated site-loss campaign, which ignores -%s; drop -%s or run without -fleet", bad, bad)
+			}
+		}
+		return nil
+	}
+	for _, f := range fleetRequires {
+		if set[f] {
+			return fmt.Errorf("-%s only applies to a federated run; add -fleet N (N >= 2) or drop -%s", f, f)
+		}
+	}
+	if set["storm-days"] {
+		for _, bad := range stormIgnores {
+			if set[bad] {
+				return fmt.Errorf("-storm-days runs the chaos storm campaign, which ignores -%s; drop -%s or run a single day without -storm-days", bad, bad)
+			}
+		}
+	}
+	return nil
 }
 
 // mgrConfig builds the insure control-plane config, arming the

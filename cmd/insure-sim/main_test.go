@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func setOf(names ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		set     map[string]bool
+		wantErr []string // substrings the error must contain; nil = valid
+	}{
+		// The Makefile and README invocations must stay legal.
+		{"plain single day", setOf("weather", "workload", "policy"), nil},
+		{"compare run", setOf("weather", "workload", "compare"), nil},
+		{"survival single day", setOf("weather", "workload", "survival", "genset"), nil},
+		{"journaled kill", setOf("state-dir", "kill-at", "torn-kill"), nil},
+		{"storm campaign", setOf("storm-days", "survival", "genset"), nil},
+		{"fleet campaign", setOf("fleet", "storm-days", "storm-site", "migrate"), nil},
+		{"fleet with log", setOf("fleet", "storm-days", "storm-site", "migrate", "fleet-log"), nil},
+		{"shared sizing flags", setOf("fleet", "storm-days", "batteries", "servers", "seed"), nil},
+
+		// -fleet silently ignored these before; now both flags are named.
+		{"fleet with kill-at", setOf("fleet", "kill-at"), []string{"-fleet", "-kill-at"}},
+		{"fleet with torn-kill", setOf("fleet", "torn-kill"), []string{"-fleet", "-torn-kill"}},
+		{"fleet with compare", setOf("fleet", "compare"), []string{"-fleet", "-compare"}},
+		{"fleet with weather", setOf("fleet", "weather"), []string{"-fleet", "-weather"}},
+		{"fleet with survival", setOf("fleet", "survival"), []string{"-fleet", "-survival"}},
+		{"fleet with faults", setOf("fleet", "faults"), []string{"-fleet", "-faults"}},
+
+		// Fleet-only flags without -fleet.
+		{"storm-site without fleet", setOf("storm-site"), []string{"-storm-site", "-fleet"}},
+		{"migrate without fleet", setOf("migrate"), []string{"-migrate", "-fleet"}},
+		{"fleet-log without fleet", setOf("fleet-log"), []string{"-fleet-log", "-fleet"}},
+
+		// The storm campaign honors -survival/-genset but not these.
+		{"storm with compare", setOf("storm-days", "compare"), []string{"-storm-days", "-compare"}},
+		{"storm with weather", setOf("storm-days", "weather"), []string{"-storm-days", "-weather"}},
+		{"storm with state-dir", setOf("storm-days", "state-dir"), []string{"-storm-days", "-state-dir"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.set)
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("want valid, got error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error naming %v, got nil", tc.wantErr)
+			}
+			for _, sub := range tc.wantErr {
+				if !strings.Contains(err.Error(), sub) {
+					t.Fatalf("error %q must name %q", err, sub)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"insure/internal/sim"
+	"insure/internal/telemetry"
+	"insure/internal/trace"
+)
+
+// TestOutlookSurface exercises the energy-outlook view the serving gateway
+// admits against: MeanSoC matches the controller's own per-unit estimates,
+// the forecast falls back to the fixed cloud margin when disabled, and the
+// Outlook snapshot assembles all of it coherently.
+func TestOutlookSurface(t *testing.T) {
+	cfg := sim.DefaultConfig(trace.LowGeneration())
+	sys, err := sim.New(cfg, sim.NewSeismicSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(DefaultConfig(), cfg.BatteryCount) // forecast off
+	start, _ := sys.Span()
+	for tod := start; tod < start+30*time.Minute; tod += time.Second {
+		sys.Tick(tod, m)
+	}
+	now := start + 30*time.Minute
+
+	soc := m.MeanSoC(sys)
+	if soc <= 0 || soc > 1 {
+		t.Fatalf("MeanSoC = %v, want (0, 1]", soc)
+	}
+	var sum float64
+	for i := 0; i < cfg.BatteryCount; i++ {
+		sum += EstimatedSoC(sys, i)
+	}
+	if want := sum / float64(cfg.BatteryCount); soc != want {
+		t.Fatalf("MeanSoC %v != mean of per-unit estimates %v", soc, want)
+	}
+
+	// Forecast disabled: the conservative fallback is the fixed 25% cloud
+	// margin on the present supply.
+	if got, want := m.ForecastSupplyW(sys, now), 0.75*float64(sys.SolarNow()); got != want {
+		t.Fatalf("fallback forecast %v, want %v", got, want)
+	}
+
+	o := m.Outlook(sys, now)
+	if o.Mode != ModeNormal || o.SoC != soc {
+		t.Fatalf("outlook %+v inconsistent with mode %v / soc %v", o, m.Mode(), soc)
+	}
+
+	// Forecast enabled: after observing the morning, the estimator must
+	// produce a finite, non-negative prediction.
+	mf := New(survivalManagerConfig(), cfg.BatteryCount)
+	sysf, err := sim.New(cfg, sim.NewSeismicSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tod := start; tod < start+30*time.Minute; tod += time.Second {
+		sysf.Tick(tod, mf)
+	}
+	if got := mf.ForecastSupplyW(sysf, now+time.Hour); got < 0 {
+		t.Fatalf("estimator forecast %v, want >= 0", got)
+	}
+}
+
+// TestLadderPublishesOpModeToHealthz drives the overcast survival day and
+// checks every ladder transition lands in the registry's operating-mode
+// surface — the /healthz coupling: mode name always current, draining
+// exactly while the plant is at Blackout.
+func TestLadderPublishesOpModeToHealthz(t *testing.T) {
+	cfg := sim.DefaultConfig(trace.LowGeneration())
+	cfg.InitialSoC = 0.30
+	sys, err := sim.New(cfg, sim.NewVideoSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(survivalManagerConfig(), cfg.BatteryCount)
+	reg := telemetry.NewRegistry()
+	m.AttachTelemetry(reg)
+
+	if mode, draining := reg.OpMode(); mode != "normal" || draining {
+		t.Fatalf("initial published mode %q draining=%v, want normal/false", mode, draining)
+	}
+	sawDraining := false
+	start, end := sys.Span()
+	for tod := start; tod < end; tod += time.Second {
+		sys.Tick(tod, m)
+		mode, draining := reg.OpMode()
+		if want := m.Mode().String(); mode != want {
+			t.Fatalf("at %v: published mode %q, manager says %q", tod, mode, want)
+		}
+		if wantDrain := m.Mode() == ModeBlackout; draining != wantDrain {
+			t.Fatalf("at %v: draining=%v in mode %s", tod, draining, m.Mode())
+		}
+		sawDraining = sawDraining || draining
+	}
+	sys.Finish(m)
+	if m.ModeTransitions() == 0 {
+		t.Fatal("fixture never engaged the ladder; the test proved nothing")
+	}
+	if !sawDraining {
+		t.Log("note: day ended without reaching Blackout; draining path covered elsewhere")
+	}
+}

@@ -241,6 +241,9 @@ func (m *Manager) setMode(sys *sim.System, now time.Duration, to OpMode, why str
 	if m.tel != nil {
 		m.tel.mode.Set(float64(to))
 		m.tel.modeTransitions.Inc()
+		// Blackout is the one rung where the right load-balancer answer is
+		// "stop sending anything": /healthz flips to 503/draining there.
+		m.tel.reg.SetOpMode(to.String(), to == ModeBlackout)
 	}
 	class := logbook.Power
 	if to == ModeSurvival || to == ModeBlackout {

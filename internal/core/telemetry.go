@@ -11,6 +11,10 @@ import (
 // results; the telemetry counters are the concurrency-safe copies a
 // /metrics scrape may read while a control pass is mid-flight.
 type managerTelemetry struct {
+	// reg is kept so ladder transitions can republish the operating mode
+	// into the /healthz report (Registry.SetOpMode).
+	reg *telemetry.Registry
+
 	screenings      *telemetry.Counter
 	capEvents       *telemetry.Counter
 	boostEvents     *telemetry.Counter
@@ -30,6 +34,7 @@ type managerTelemetry struct {
 // quarantined. Call it once, before the first Control pass.
 func (m *Manager) AttachTelemetry(reg *telemetry.Registry) {
 	t := &managerTelemetry{
+		reg: reg,
 		screenings: reg.Counter("insure_spm_screenings_total",
 			"SPM coarse-interval offline screenings run."),
 		capEvents: reg.Counter("insure_tpm_cap_events_total",
@@ -50,6 +55,11 @@ func (m *Manager) AttachTelemetry(reg *telemetry.Registry) {
 			"Load the survivability posture withholds versus what the raw power budget supports, watts."),
 	}
 	m.tel = t
+	// Publish the operating mode into /healthz from the start: a load
+	// balancer probing a freshly attached (or crash-recovered) plant sees
+	// the real rung, and a plant restored mid-blackout reports draining
+	// immediately instead of after its next transition.
+	reg.SetOpMode(m.Mode().String(), m.Mode() == ModeBlackout)
 	if m.sv != nil {
 		// Recovery ordering: a restored mode machine attaches telemetry
 		// after its state is already non-zero; bring the registry up to the

@@ -126,6 +126,62 @@ func (t MigrationTariff) EnergyWh(gb float64) float64 { return t.WhPerGB * gb }
 // Cost is the backhaul service charge for shipping gb gigabytes.
 func (t MigrationTariff) Cost(gb float64) Dollars { return Dollars(float64(t.PerGB) * gb) }
 
+// --- Serving plane: the energy price of a request ----------------------------
+
+// ServingTariff prices one interactive request served by the in-situ
+// cluster: a fixed per-request energy floor (request parsing, scheduling,
+// network interrupt load) plus a per-kilobyte term for materialising and
+// transmitting the response, valued at the plant's marginal cost of a
+// delivered watt-hour. The gateway (internal/gateway) meters every admitted
+// request through this, so the serving plane's energy account is in the
+// same dollars as the paper's TCO models.
+type ServingTariff struct {
+	// BaseWh is the fixed energy floor per request.
+	BaseWh float64
+	// WhPerKB is the marginal energy per kilobyte of response.
+	WhPerKB float64
+	// PerKWh is the marginal cost of one delivered kilowatt-hour of plant
+	// energy (see Assumptions.MarginalEnergyPrice).
+	PerKWh Dollars
+}
+
+// DefaultServingTariff prices requests against the paper-calibrated plant:
+// ~0.2 mWh per request (a few hundred ms of one core's share of a Xeon
+// node's dynamic power) plus 0.01 mWh/KB of response, at the prototype's
+// marginal solar+battery energy price.
+func DefaultServingTariff() ServingTariff {
+	return ServingTariff{
+		BaseWh:  0.0002,
+		WhPerKB: 0.00001,
+		PerKWh:  Default().MarginalEnergyPrice(),
+	}
+}
+
+// RequestWh is the energy one request with a respKB-kilobyte response costs.
+func (t ServingTariff) RequestWh(respKB float64) float64 {
+	if respKB < 0 {
+		respKB = 0
+	}
+	return t.BaseWh + t.WhPerKB*respKB
+}
+
+// RequestCost is the marginal dollar cost of one request.
+func (t ServingTariff) RequestCost(respKB float64) Dollars {
+	return Dollars(float64(t.PerKWh) * t.RequestWh(respKB) / 1000)
+}
+
+// MarginalEnergyPrice is the amortised cost of one delivered kWh from the
+// standalone solar+battery system over the battery's service life — the
+// $/kWh the serving tariff values a request's energy at.
+func (a Assumptions) MarginalEnergyPrice() Dollars {
+	years := a.BatteryLifeYears
+	kWh := a.DailyLoadKWh * 365 * years
+	if kWh <= 0 {
+		return 0
+	}
+	return Dollars(float64(a.EnergyTCO(SolarBattery, years)) / kWh)
+}
+
 // --- Table 1 / §2.1 / §6.5 assumptions --------------------------------------
 
 // Assumptions collects every calibrated price. Callers may adjust fields

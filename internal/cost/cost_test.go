@@ -303,3 +303,53 @@ func TestMigrationTariffAccountingLinear(t *testing.T) {
 		t.Errorf("ShipHours(0) = %v, want 0", z)
 	}
 }
+
+func TestMarginalEnergyPrice(t *testing.T) {
+	a := Default()
+	price := a.MarginalEnergyPrice()
+	// Amortised solar+battery energy: positive, and within an order of
+	// magnitude of grid/PPA rates — a request account priced in absurd
+	// dollars would poison every serving-plane report downstream.
+	if price <= 0.01 || price > 5 {
+		t.Fatalf("marginal energy price $%.3f/kWh outside plausible range", float64(price))
+	}
+	// It is the flat amortisation of the energy TCO over delivered kWh.
+	want := float64(a.EnergyTCO(SolarBattery, a.BatteryLifeYears)) /
+		(a.DailyLoadKWh * 365 * a.BatteryLifeYears)
+	if math.Abs(float64(price)-want) > 1e-9 {
+		t.Fatalf("price $%v, want TCO amortisation $%v", price, want)
+	}
+	// Degenerate assumptions must not divide by zero.
+	var zero Assumptions
+	if p := zero.MarginalEnergyPrice(); p != 0 {
+		t.Fatalf("zero assumptions price = %v, want 0", p)
+	}
+}
+
+func TestServingTariffRequestAccount(t *testing.T) {
+	tar := DefaultServingTariff()
+	if tar.PerKWh != Default().MarginalEnergyPrice() {
+		t.Fatalf("default tariff must price at the marginal energy rate")
+	}
+	// Linear in response size, with the per-request floor.
+	if got, want := tar.RequestWh(0), tar.BaseWh; got != want {
+		t.Errorf("RequestWh(0) = %v, want floor %v", got, want)
+	}
+	if got, want := tar.RequestWh(16), tar.BaseWh+16*tar.WhPerKB; got != want {
+		t.Errorf("RequestWh(16) = %v, want %v", got, want)
+	}
+	// Negative sizes clamp to the floor instead of minting energy credits.
+	if got := tar.RequestWh(-5); got != tar.BaseWh {
+		t.Errorf("RequestWh(-5) = %v, want clamped floor %v", got, tar.BaseWh)
+	}
+	// Dollar account: Wh/1000 at the kWh price.
+	if got, want := float64(tar.RequestCost(16)), float64(tar.PerKWh)*tar.RequestWh(16)/1000; math.Abs(got-want) > 1e-15 {
+		t.Errorf("RequestCost(16) = %v, want %v", got, want)
+	}
+	// Sanity anchor: a day of 1M standard requests (16 KB) should cost
+	// cents-to-dollars, not fractions of a cent or thousands.
+	day := float64(tar.RequestCost(16)) * 1e6
+	if day < 0.001 || day > 100 {
+		t.Errorf("1M requests/day = $%v, outside plausible band", day)
+	}
+}

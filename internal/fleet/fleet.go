@@ -33,6 +33,7 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"insure/internal/core"
@@ -173,6 +174,14 @@ type Coordinator struct {
 	sites    []siteState
 	inflight []shipment
 	failures []*siteFailure
+
+	// donorRank is the pass-scoped donor ordering: site indices that pass
+	// every frozen donor filter, sorted by sampled SoC descending (ties to
+	// the lowest index). Built once per pass from the samples — O(N log N)
+	// — so each donor() call is a short ordered walk instead of a full
+	// rescan; with many evacuating sites the old per-call scan made a pass
+	// O(N²). Reused across passes to avoid per-pass allocation.
+	donorRank []int
 
 	// Per-site operating windows for the current day, taken from RunDay's
 	// configs — the deadline the coordinator ships against.
@@ -445,24 +454,50 @@ func (c *Coordinator) sample(fl *sim.Fleet, i int) {
 	}
 }
 
-// donor picks the best migration destination for work leaving site from:
-// the live, batch-capable, non-evacuating Normal-mode site with the highest
-// sampled SoC at or above the surplus threshold. With requireIdle set the
-// destination must also have an empty queue and nothing in flight —
-// deadline-driven shipments may only go where they will actually run now,
-// which keeps end-of-window backlog from bouncing between busy sites.
-// Returns -1 if none qualifies. Ties break toward the lowest index,
-// keeping the choice deterministic.
-func (c *Coordinator) donor(from int, requireIdle bool) int {
-	best, bestSoC := -1, 0.0
+// rebuildDonorRank rebuilds the pass-scoped donor ordering from the fresh
+// samples. Every filter applied here is frozen for the remainder of the
+// pass: dead and deadline flags, the evacuate latch, and the sampled soc /
+// mode / pendingGB fields only change between passes (the evacuation
+// loop's pendingGB reset touches only sites that fail these filters, so
+// it cannot promote or demote a ranked donor mid-pass). The sort is
+// stable over an index-ascending build, so equal SoCs keep lowest-index
+// priority — exactly the old linear scan's strict-greater tie-break.
+func (c *Coordinator) rebuildDonorRank() {
+	c.donorRank = c.donorRank[:0]
 	for j := range c.sites {
 		st := &c.sites[j]
-		if j == from || st.dead || st.deadline || st.needsEvac(c.cfg.DeficitSoC) || st.mode != core.ModeNormal {
+		if st.dead || st.deadline || st.needsEvac(c.cfg.DeficitSoC) || st.mode != core.ModeNormal {
 			continue
 		}
 		if _, ok := st.sink.(migratableSink); !ok {
 			continue
 		}
+		if st.soc < c.cfg.SurplusSoC {
+			continue
+		}
+		c.donorRank = append(c.donorRank, j)
+	}
+	sort.SliceStable(c.donorRank, func(a, b int) bool {
+		return c.sites[c.donorRank[a]].soc > c.sites[c.donorRank[b]].soc
+	})
+}
+
+// donor picks the best migration destination for work leaving site from:
+// the live, batch-capable, non-evacuating Normal-mode site with the highest
+// sampled SoC at or above the surplus threshold — the front of donorRank.
+// With requireIdle set the destination must also have an empty queue and
+// nothing in flight — deadline-driven shipments may only go where they
+// will actually run now, which keeps end-of-window backlog from bouncing
+// between busy sites. The in-flight count is deliberately read live, not
+// at rank build: scheduling migrated jobs onto a donor makes it non-idle
+// for the rest of the pass. Returns -1 if none qualifies. Ties break
+// toward the lowest index, keeping the choice deterministic.
+func (c *Coordinator) donor(from int, requireIdle bool) int {
+	for _, j := range c.donorRank {
+		if j == from {
+			continue
+		}
+		st := &c.sites[j]
 		if requireIdle {
 			if st.pendingGB > 0 {
 				continue
@@ -471,11 +506,9 @@ func (c *Coordinator) donor(from int, requireIdle bool) int {
 				continue
 			}
 		}
-		if st.soc >= c.cfg.SurplusSoC && st.soc > bestSoC {
-			best, bestSoC = j, st.soc
-		}
+		return j
 	}
-	return best
+	return -1
 }
 
 // inboundGrace is how long a site that just received migrated work is
@@ -527,6 +560,11 @@ func (c *Coordinator) pass(fl *sim.Fleet, tod time.Duration) error {
 			st.deadline = true
 		}
 	}
+
+	// Every donor filter is now settled for this pass; rank the candidates
+	// once so the shipment and evacuation loops below pick donors by
+	// ordered walk instead of rescanning all N sites per call.
+	c.rebuildDonorRank()
 
 	// Deliver checkpoint shipments whose transfer has completed. A shipment
 	// addressed to a site that died in transit re-routes to a fresh donor —

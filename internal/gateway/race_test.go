@@ -1,0 +1,128 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"insure/internal/core"
+	"insure/internal/sim"
+	"insure/internal/solar"
+	"insure/internal/trace"
+)
+
+// syncedPlant serialises plant reads against the tick loop, the same
+// discipline cmd/insure-gateway's live mode uses: the simulated System is
+// not internally synchronised.
+type syncedPlant struct {
+	mu    sync.Mutex
+	inner SimPlant
+}
+
+func (p *syncedPlant) State(now time.Duration) State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inner.State(now)
+}
+
+func (p *syncedPlant) ForecastW(at time.Duration) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inner.ForecastW(at)
+}
+
+// TestConcurrentAdmitsAgainstTickingSim drives concurrent admissions from
+// several goroutines while a live simulation ticks underneath — the -race
+// half of the ISSUE's transition test. Every ticket must resolve exactly
+// once, the accounting identity must balance, and nothing may be
+// admitted-then-dropped, no matter how admits interleave with rung moves.
+func TestConcurrentAdmitsAgainstTickingSim(t *testing.T) {
+	tr := trace.Synthesize(solar.Cloudy, 7, time.Second)
+	scfg := sim.DefaultConfig(tr)
+	scfg.BatteryCount = 4
+	scfg.ServerCount = 2
+	sys, err := sim.New(scfg, sim.NewSeismicSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := core.DefaultConfig()
+	mcfg.Survival = core.DefaultSurvivalConfig()
+	mgr := core.New(mcfg, scfg.BatteryCount)
+
+	plant := &syncedPlant{inner: SimPlant{Sys: sys, Mgr: mgr}}
+	cfg := DefaultConfig()
+	cfg.BaseQPS = 50
+	gw := New(cfg, plant)
+
+	lo, hi := sys.Span()
+	step := scfg.Step
+	var clock atomic.Int64
+	clock.Store(int64(lo))
+
+	// Tick loop: runs until every worker is done, so queued tickets always
+	// get dispatched, expired, or retriaged by a live Advance.
+	stopTick := make(chan struct{})
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		tod := lo
+		for {
+			select {
+			case <-stopTick:
+				return
+			default:
+			}
+			if tod < hi {
+				plant.mu.Lock()
+				sys.Tick(tod, mgr)
+				plant.mu.Unlock()
+			}
+			tod += step
+			clock.Store(int64(tod))
+			gw.Advance(tod)
+		}
+	}()
+
+	const workers = 4
+	const perWorker = 400
+	var wg sync.WaitGroup
+	var served, shed atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				now := time.Duration(clock.Load())
+				class := classMix[(w*perWorker+i)%len(classMix)]
+				if i%2 == 0 {
+					out, ticket := gw.Admit(now, class)
+					if out.Decision == Queued {
+						out = <-ticket.C
+					}
+					if out.Decision == Served {
+						served.Add(1)
+					} else {
+						shed.Add(1)
+					}
+				} else {
+					gw.Offer(now, class)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopTick)
+	<-tickDone
+	gw.Drain(time.Duration(clock.Load()))
+
+	st := gw.Stats()
+	if st.Requests != workers*perWorker {
+		t.Fatalf("requests %d, want %d", st.Requests, workers*perWorker)
+	}
+	checkBalance(t, st)
+	if got := served.Load() + shed.Load(); got != workers*perWorker/2 {
+		t.Fatalf("ticketed outcomes %d, want %d (a ticket resolved zero or two times)",
+			got, workers*perWorker/2)
+	}
+}

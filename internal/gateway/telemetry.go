@@ -1,0 +1,63 @@
+package gateway
+
+import "insure/internal/telemetry"
+
+// gwTelemetry mirrors the gateway's accounting into the live registry.
+// The Stats fields stay authoritative for tests and the load harness; the
+// registry copies are the concurrency-safe view a /metrics scrape reads
+// while the admission path runs.
+type gwTelemetry struct {
+	admitted [NumClasses]*telemetry.Counter
+	queued   [NumClasses]*telemetry.Counter
+	shed     [NumClasses]*telemetry.Counter
+	shedBy   [numShedReasons]*telemetry.Counter
+	latency  [NumClasses]*telemetry.Histogram
+
+	degraded        *telemetry.Counter
+	admittedDropped *telemetry.Counter
+	queueDepth      *telemetry.Gauge
+}
+
+// AttachTelemetry registers the gateway's serving-plane metrics on reg:
+// per-class admitted/queued/shed counters, shed-reason counters, per-class
+// latency histograms, live queue depth, the degraded-response counter, the
+// energy/cost account, and the admitted-then-dropped invariant counter
+// (which must scrape as zero forever). Call it once, before serving.
+func (g *Gateway) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	t := &gwTelemetry{}
+	for c := Class(0); c < NumClasses; c++ {
+		lbl := telemetry.Label{Key: "class", Value: c.String()}
+		t.admitted[c] = reg.Counter("insure_gateway_admitted_total",
+			"Requests admitted (service began) by class.", lbl)
+		t.queued[c] = reg.Counter("insure_gateway_queued_total",
+			"Requests that entered the deadline queue by class.", lbl)
+		t.shed[c] = reg.Counter("insure_gateway_shed_total",
+			"Requests rejected with a retry-after hint by class.", lbl)
+		t.latency[c] = reg.Histogram("insure_gateway_latency_seconds",
+			"End-to-end simulated request latency (queue wait + service).",
+			telemetry.DefTimeBuckets, lbl)
+	}
+	for why := ShedNone + 1; why < numShedReasons; why++ {
+		t.shedBy[why] = reg.Counter("insure_gateway_shed_reason_total",
+			"Requests shed by cause (mode, soc, capacity, deadline, retriage, drain).",
+			telemetry.Label{Key: "reason", Value: why.String()})
+	}
+	t.degraded = reg.Counter("insure_gateway_degraded_total",
+		"Responses served degraded (reduced payload) under emergency rungs.")
+	t.admittedDropped = reg.Counter("insure_gateway_admitted_dropped_total",
+		"Requests dropped after admission. Zero by construction; nonzero is a bug.")
+	t.queueDepth = reg.Gauge("insure_gateway_queue_depth",
+		"Requests currently waiting in the deadline queue, all classes.")
+	reg.FuncGauge("insure_gateway_energy_wh_total",
+		"Metered serving energy across all admitted requests, watt-hours.",
+		func() float64 { return g.Stats().EnergyWh })
+	reg.FuncGauge("insure_gateway_cost_usd_total",
+		"Marginal energy cost of all admitted requests, dollars.",
+		func() float64 { return g.Stats().CostUSD })
+	g.mu.Lock()
+	g.tel = t
+	g.mu.Unlock()
+}

@@ -17,13 +17,18 @@ func (r *Registry) MetricsHandler() http.Handler {
 
 // healthReport is the /healthz response body.
 type healthReport struct {
-	Status          string            `json:"status"` // "ok" or "degraded"
+	Status          string            `json:"status"` // "ok", "degraded", or "draining"
+	Mode            string            `json:"mode,omitempty"` // operating mode (survivability rung), when published
 	SimClockSeconds float64           `json:"sim_clock_seconds"`
 	Checks          map[string]string `json:"checks,omitempty"` // name -> "ok" or error text
 }
 
 // HealthzHandler serves the liveness report: 200 when every installed
 // health check passes, 503 with the failing checks' errors otherwise.
+// A process that published a draining operating mode (SetOpMode — the
+// plant's Blackout rung) answers 503 with the rung name even when every
+// individual check still passes, so load balancers drain the site before
+// its requests start failing.
 func (r *Registry) HealthzHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		rep := healthReport{
@@ -32,10 +37,18 @@ func (r *Registry) HealthzHandler() http.Handler {
 			Checks:          map[string]string{},
 		}
 		code := http.StatusOK
+		mode, draining := r.OpMode()
+		rep.Mode = mode
+		if draining {
+			rep.Status = "draining"
+			code = http.StatusServiceUnavailable
+		}
 		for _, hc := range r.healthChecks() {
 			if err := hc.Check(); err != nil {
 				rep.Checks[hc.Name] = err.Error()
-				rep.Status = "degraded"
+				if rep.Status == "ok" {
+					rep.Status = "degraded"
+				}
 				code = http.StatusServiceUnavailable
 			} else {
 				rep.Checks[hc.Name] = "ok"

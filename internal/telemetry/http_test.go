@@ -95,6 +95,94 @@ func TestHealthzEndpoint(t *testing.T) {
 	}
 }
 
+// TestHealthzReportsOpMode pins the operating-mode surface: the report
+// names the published survivability rung, and a draining mode (Blackout)
+// answers 503 even when every individual health check passes — the signal
+// a load balancer needs to pull the site before its requests start
+// failing.
+func TestHealthzReportsOpMode(t *testing.T) {
+	r := NewRegistry()
+	r.AddHealthCheck("always-ok", func() error { return nil })
+	addr, stop, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	url := "http://" + addr.String() + "/healthz"
+
+	get := func() (int, map[string]any) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// No published mode: the field is omitted, status untouched.
+	code, body := get()
+	if code != http.StatusOK {
+		t.Fatalf("no mode: code=%d", code)
+	}
+	if _, present := body["mode"]; present {
+		t.Fatalf("mode must be omitted before SetOpMode: %v", body)
+	}
+
+	// Degraded-but-serving rungs report their name and stay 200.
+	for _, mode := range []string{"normal", "conservative", "survival"} {
+		r.SetOpMode(mode, false)
+		code, body = get()
+		if code != http.StatusOK || body["status"] != "ok" || body["mode"] != mode {
+			t.Fatalf("%s: code=%d body=%v, want 200 ok", mode, code, body)
+		}
+	}
+
+	// Blackout drains: 503 with the rung name, despite the passing check.
+	r.SetOpMode("blackout", true)
+	code, body = get()
+	if code != http.StatusServiceUnavailable || body["status"] != "draining" || body["mode"] != "blackout" {
+		t.Fatalf("blackout: code=%d body=%v, want 503 draining", code, body)
+	}
+	if body["checks"].(map[string]any)["always-ok"] != "ok" {
+		t.Fatalf("draining must not rewrite check results: %v", body)
+	}
+
+	// Recovery: blackstart then normal serve again.
+	r.SetOpMode("blackstart", false)
+	if code, body = get(); code != http.StatusOK || body["mode"] != "blackstart" {
+		t.Fatalf("blackstart: code=%d body=%v", code, body)
+	}
+}
+
+// TestHealthzDrainingWinsOverDegraded: a draining plant with failing
+// checks reports "draining" (the stronger signal), never "degraded".
+func TestHealthzDrainingWinsOverDegraded(t *testing.T) {
+	r := NewRegistry()
+	r.AddHealthCheck("faultwatch", func() error { return errors.New("1 unit quarantined") })
+	r.SetOpMode("blackout", true)
+	addr, stop, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr.String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("code=%d body=%v, want 503 draining", resp.StatusCode, body)
+	}
+}
+
 func TestDebugMuxServesPprof(t *testing.T) {
 	addr, stop, err := ServeDebug("127.0.0.1:0")
 	if err != nil {

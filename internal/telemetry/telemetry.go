@@ -225,6 +225,13 @@ type Registry struct {
 	clock   atomic.Int64
 	healthM sync.RWMutex
 	health  []HealthCheck
+
+	// Operating-mode surface (SetOpMode): the plant's survivability rung,
+	// mirrored into /healthz so load balancers can see a site degrade and
+	// drain a dying one instead of routing into a blackout.
+	opMu       sync.RWMutex
+	opMode     string
+	opDraining bool
 }
 
 // NewRegistry returns an empty registry.
@@ -294,6 +301,25 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 		counts: make([]atomic.Int64, len(buckets)),
 	}
 	return r.register(h).(*Histogram)
+}
+
+// SetOpMode publishes the plant's current operating mode (the PR 5
+// survivability rung) into the /healthz report. With draining set the
+// endpoint answers 503 regardless of the individual health checks — the
+// signal a load balancer uses to take the site out of rotation while the
+// plant is dark. The control plane calls this on every ladder transition.
+func (r *Registry) SetOpMode(mode string, draining bool) {
+	r.opMu.Lock()
+	r.opMode, r.opDraining = mode, draining
+	r.opMu.Unlock()
+}
+
+// OpMode returns the last published operating mode ("" before the first
+// SetOpMode) and whether the process asked to be drained.
+func (r *Registry) OpMode() (mode string, draining bool) {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
+	return r.opMode, r.opDraining
 }
 
 // AddHealthCheck installs a named liveness check surfaced by /healthz.
