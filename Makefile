@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet smoke-gateway race-gateway vet check bench bench-json bench-scaling perf-diff experiments clean
+.PHONY: all build test race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet smoke-gateway race-gateway smoke-wan race-wan vet check bench bench-json bench-scaling perf-diff experiments clean
 
 all: build
 
@@ -94,6 +94,22 @@ smoke-gateway:
 race-gateway:
 	$(GO) test -race -count=1 ./internal/gateway
 
+# smoke-wan runs the quick degraded-backhaul gates: the seeded link model
+# itself, the WAN-attached observer's byte-identity to solo runs, and
+# exactly-once shipping across a 30%-drop link.
+smoke-wan:
+	$(GO) test -count=1 ./internal/wan
+	$(GO) test -count=1 -run 'TestWANObserverMatchesSoloRuns|TestWANMigrationExactlyOnceUnderLoss|TestWANStormObserverIsByteIdentical' ./internal/fleet ./internal/chaos
+
+# race-wan runs the full degraded-WAN storm campaign — partitions, chunk
+# loss, reroutes, heals, and the same-seed rerun-twice bit-identity check —
+# plus the fleetd kill/resume drills, all under the race detector. A failing
+# campaign prints its seed; rerun with `go test -run TestWANStorm
+# ./internal/chaos -v`.
+race-wan:
+	$(GO) test -race -count=1 -run 'TestWANStorm' -v ./internal/chaos
+	$(GO) test -race -count=1 ./cmd/insure-fleetd
+
 # bench-scaling measures the plant-years/sec workers-scaling curve on a
 # short campaign and enforces the speedup gate: on N >= 2 cores, speedup at
 # N workers must reach 0.7*N or the target fails. On a single-core machine
@@ -106,8 +122,9 @@ bench-scaling:
 # runner are exercised concurrently there), the injected-fault smoke
 # simulation, the telemetry-plane smoke test, the crash-recovery chaos
 # campaigns, the energy-emergency survivability gates, the fleet-federation
-# gates, the serving-plane gates, and the multicore scaling gate.
-check: vet build race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet smoke-gateway race-gateway bench-scaling
+# gates, the serving-plane gates, the degraded-WAN gates, and the multicore
+# scaling gate.
+check: vet build race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet smoke-gateway race-gateway smoke-wan race-wan bench-scaling
 
 # bench runs the simulation hot-path and experiment benchmarks.
 bench:

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"insure/internal/wan"
+)
+
+// fleetdFixture is the resume-drill campaign: three sites, three days, a
+// lossy WAN, and two fixed six-hour partitions so tests can aim the kill
+// inside a known window. Explicit partitions override the seeded planner.
+func fleetdFixture(seed int64, dir string) daemonOpts {
+	return daemonOpts{worldConfig: worldConfig{
+		Seed: seed, Sites: 3, Days: 3,
+		Batteries: 6, Servers: 4, JobGB: 40,
+		Migration: true, Drop: 0.30, Corrupt: 0.05,
+		partitions: []wan.Outage{
+			{Site: 1, Day: 0, From: 9 * time.Hour, To: 15 * time.Hour},
+			{Site: 0, Day: 1, From: 10 * time.Hour, To: 16 * time.Hour},
+		},
+		StateDir: dir,
+	}}
+}
+
+// miglogBytes reads the raw migration-log file under a state dir.
+func miglogBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, "miglog", "journal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFleetdKillResumeBitIdentical is the daemon's acceptance drill: kill
+// the campaign at day 1, 12h — in the middle of the day-1 partition, with
+// transfers in flight and a site unreachable — then boot a fresh incarnation
+// on the same state dir. The resumed run must finish with the byte-identical
+// migration log and the identical final report the undisturbed run produces.
+func TestFleetdKillResumeBitIdentical(t *testing.T) {
+	ctx := context.Background()
+
+	refDir := t.TempDir()
+	refRep, err := runDaemon(ctx, new(bytes.Buffer), fleetdFixture(901, refDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLog := miglogBytes(t, refDir)
+	if len(refLog) == 0 {
+		t.Fatal("reference run wrote an empty migration log")
+	}
+
+	killDir := t.TempDir()
+	killOpts := fleetdFixture(901, killDir)
+	killOpts.KillAt = "1:12h"
+	if _, err := runDaemon(ctx, new(bytes.Buffer), killOpts); err != errKilled {
+		t.Fatalf("kill-at run: want errKilled, got %v", err)
+	}
+
+	var out bytes.Buffer
+	gotRep, err := runDaemon(ctx, &out, fleetdFixture(901, killDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "resumed fleet state") {
+		t.Errorf("resumed run did not announce the resume:\n%s", out.String())
+	}
+	if got, want := gotRep.String(), refRep.String(); got != want {
+		t.Errorf("resumed report differs from undisturbed run\n got: %s\nwant: %s", got, want)
+	}
+	if !bytes.Equal(miglogBytes(t, killDir), refLog) {
+		t.Errorf("resumed migration log is not byte-identical to the undisturbed run (%d vs %d bytes)",
+			len(miglogBytes(t, killDir)), len(refLog))
+	}
+	tot := gotRep.Totals
+	if tot.JobsDoubleRun != 0 || tot.SplitBrain != 0 {
+		t.Fatalf("exactly-once guards tripped across the resume: %+v", tot)
+	}
+}
+
+// TestFleetdKillBeforeFirstSnapshotColdStarts kills during day 0, before any
+// day-boundary snapshot exists: the next boot must cold-start — truncating
+// the partial day-0 records — and still converge on the reference run.
+func TestFleetdKillBeforeFirstSnapshotColdStarts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold-start drill skipped in -short")
+	}
+	ctx := context.Background()
+
+	refDir := t.TempDir()
+	refRep, err := runDaemon(ctx, new(bytes.Buffer), fleetdFixture(902, refDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killDir := t.TempDir()
+	killOpts := fleetdFixture(902, killDir)
+	killOpts.KillAt = "0:14h"
+	if _, err := runDaemon(ctx, new(bytes.Buffer), killOpts); err != errKilled {
+		t.Fatalf("kill-at run: want errKilled, got %v", err)
+	}
+
+	gotRep, err := runDaemon(ctx, new(bytes.Buffer), fleetdFixture(902, killDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := gotRep.String(), refRep.String(); got != want {
+		t.Errorf("cold-started report differs from undisturbed run\n got: %s\nwant: %s", got, want)
+	}
+	if !bytes.Equal(miglogBytes(t, killDir), miglogBytes(t, refDir)) {
+		t.Error("cold-started migration log is not byte-identical to the undisturbed run")
+	}
+}
+
+// TestFleetdWatchdogRecoversFromPanic panics the day loop mid-partition via
+// the injected kill hook; the watchdog must rebuild the world from the state
+// dir in-process and finish the campaign identical to the reference.
+func TestFleetdWatchdogRecoversFromPanic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("watchdog drill skipped in -short")
+	}
+	ctx := context.Background()
+
+	refDir := t.TempDir()
+	refRep, err := runDaemon(ctx, new(bytes.Buffer), fleetdFixture(903, refDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	opts := fleetdFixture(903, dir)
+	opts.MaxRestarts = 1
+	fired := false
+	opts.killFn = func(day int, tod time.Duration) bool {
+		if !fired && day == 1 && tod >= 12*time.Hour {
+			fired = true
+			panic("injected day-loop fault")
+		}
+		return false
+	}
+	var out bytes.Buffer
+	gotRep, err := runDaemon(ctx, &out, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "watchdog:") {
+		t.Errorf("watchdog never reported the rebuild:\n%s", out.String())
+	}
+	if got, want := gotRep.String(), refRep.String(); got != want {
+		t.Errorf("post-panic report differs from undisturbed run\n got: %s\nwant: %s", got, want)
+	}
+	if !bytes.Equal(miglogBytes(t, dir), miglogBytes(t, refDir)) {
+		t.Error("post-panic migration log is not byte-identical to the undisturbed run")
+	}
+}
+
+// TestFleetdSignalAbortPreservesState cancels the context mid-day — the
+// signal path — and checks the daemon comes back from the state dir.
+func TestFleetdSignalAbortPreservesState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("signal drill skipped in -short")
+	}
+	dir := t.TempDir()
+	opts := fleetdFixture(904, dir)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	opts.killFn = func(day int, tod time.Duration) bool {
+		if day == 1 && tod >= 11*time.Hour {
+			cancel()
+		}
+		return false
+	}
+	_, err := runDaemon(ctx, new(bytes.Buffer), opts)
+	if err != context.Canceled {
+		t.Fatalf("cancelled run: want context.Canceled, got %v", err)
+	}
+
+	opts = fleetdFixture(904, dir)
+	rep, err := runDaemon(context.Background(), new(bytes.Buffer), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.JobsDoubleRun != 0 || rep.Totals.SplitBrain != 0 {
+		t.Fatalf("guards tripped across a signal abort: %+v", rep.Totals)
+	}
+}
+
+// TestParseKillAt pins the flag grammar.
+func TestParseKillAt(t *testing.T) {
+	if fn, err := parseKillAt(""); err != nil || fn != nil {
+		t.Errorf("empty spec: want nil predicate and nil error, got err=%v", err)
+	}
+	fn, err := parseKillAt("1:15h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn(0, 20*time.Hour) || fn(1, 14*time.Hour) || !fn(1, 15*time.Hour) {
+		t.Error("kill predicate fired at the wrong moment")
+	}
+	for _, bad := range []string{"15h", "x:15h", "1:xyz"} {
+		if _, err := parseKillAt(bad); err == nil {
+			t.Errorf("parseKillAt(%q): want error", bad)
+		}
+	}
+}

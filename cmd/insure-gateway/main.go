@@ -26,16 +26,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"insure/internal/core"
@@ -155,9 +160,66 @@ func main() {
 	mux := srv.Mux()
 	mux.Handle("/metrics", reg.MetricsHandler())
 	mux.Handle("/healthz", reg.HealthzHandler())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	log.Printf("serving plane on http://%s/query (weather %s, accel %.0fx, base %.0f qps)",
-		*addr, *weather, *accel, *baseQPS)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+		ln.Addr(), *weather, *accel, *baseQPS)
+	if err := serveGateway(ctx, ln, mux, gw, now, drainGrace); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("signal received; drained and stopped")
+}
+
+// drainGrace is how long a shutting-down gateway keeps answering — new
+// queries get 503 + Retry-After instead of connection errors — before the
+// listener closes. In-flight requests are always allowed to finish.
+const drainGrace = 2 * time.Second
+
+// drainRetrySeconds is the Retry-After hint handed to queries that arrive
+// while the gateway is draining.
+const drainRetrySeconds = 30
+
+// serveGateway runs the serving plane until ctx is cancelled (SIGINT or
+// SIGTERM in main), then shuts down gracefully: admission stops immediately
+// — /query answers 503 with a Retry-After for one grace window — queued
+// tickets are shed as ShedDrain, in-flight requests complete, and the
+// listener closes.
+func serveGateway(ctx context.Context, ln net.Listener, handler http.Handler, gw *gateway.Gateway, now func() time.Duration, grace time.Duration) error {
+	var draining atomic.Bool
+	wrapped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if draining.Load() && r.URL.Path == "/query" {
+			w.Header().Set("Retry-After", strconv.Itoa(drainRetrySeconds))
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		handler.ServeHTTP(w, r)
+	})
+	srv := &http.Server{Handler: wrapped}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	draining.Store(true)
+	gw.Drain(now())
+	time.Sleep(grace)
+	sdCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 // lockedPlant serialises plant reads against the tick loop: the simulated

@@ -17,6 +17,35 @@
 // compared for convergence. Rerunning a campaign with the same seed must
 // reproduce the chaos trajectory bit-for-bit — the recovery path is as
 // deterministic as the happy path.
+//
+// # Seeding contract
+//
+// Every source of adversity in a campaign draws its randomness in one of
+// exactly three ways, so that a seed pins the whole campaign and no layer
+// can steal entropy from another:
+//
+//  1. Up-front plans. Anything scheduled ahead of time — the chaos Plan in
+//     this package, wan.PlanOutages partition/collapse windows — consumes a
+//     fixed number of PRNG draws per event (Plan draws six per event even
+//     when a kind needs fewer; PlanOutages draws three per window) from its
+//     own rand.New(rand.NewSource(seed)). Fixed draw counts mean adding an
+//     event kind never shifts the schedule of later events under the same
+//     seed.
+//  2. Stateless per-chunk fates. Per-tick randomness that cannot be planned
+//     up front — one WAN chunk's delivered/dropped/corrupted fate — is a
+//     pure hash (SplitMix64) of (seed, from, to, transfer, chunk, attempt).
+//     No stream state survives between draws, so a daemon resumed from a
+//     snapshot re-derives the identical fates mid-image.
+//  3. No randomness at all. Deterministic fault hooks such as
+//     faults.FlakyProxy.SetPartition are switched on and off by the
+//     campaign at planned times; the mechanism itself has no entropy to
+//     seed away, and its effect is reproduced by replaying the plan.
+//
+// Seed lanes keep concurrent streams disjoint: per-site solar traces use
+// seed+1000*(site+1)+day, the WAN partition planner offsets the campaign
+// seed, and chunk fates fold the link seed into the hash. Never share one
+// PRNG between layers and never draw a data-dependent number of values —
+// both break bit-identical reruns and snapshot resume.
 package chaos
 
 import (

@@ -126,6 +126,24 @@ func (t MigrationTariff) EnergyWh(gb float64) float64 { return t.WhPerGB * gb }
 // Cost is the backhaul service charge for shipping gb gigabytes.
 func (t MigrationTariff) Cost(gb float64) Dollars { return Dollars(float64(t.PerGB) * gb) }
 
+// BytesPerGB converts between the tariff's decimal-gigabyte pricing and
+// the chunked transfer engine's byte offsets.
+const BytesPerGB = 1e9
+
+// EnergyWhBytes is the transmission energy for a byte count — including
+// retransmitted bytes: on a lossy backhaul every attempt spends radio
+// energy whether or not the chunk survives, so retries are metered at the
+// same rate as goodput.
+func (t MigrationTariff) EnergyWhBytes(b int64) float64 {
+	return t.EnergyWh(float64(b) / BytesPerGB)
+}
+
+// CostBytes is the backhaul service charge for a byte count (carriers
+// bill attempted traffic, not delivered traffic).
+func (t MigrationTariff) CostBytes(b int64) Dollars {
+	return t.Cost(float64(b) / BytesPerGB)
+}
+
 // --- Serving plane: the energy price of a request ----------------------------
 
 // ServingTariff prices one interactive request served by the in-situ

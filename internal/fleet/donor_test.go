@@ -97,7 +97,7 @@ func TestDonorRankMatchesLinearScan(t *testing.T) {
 			st.mode = modes[rng.Intn(len(modes))]
 			st.soc = socs[rng.Intn(len(socs))]
 		}
-		c.rebuildDonorRank()
+		c.rebuildDonorRank(0)
 		// Several queries against the same rank, as a real pass issues, with
 		// in-flight churn between them (the one donor input that mutates
 		// mid-pass and therefore must be read live).
@@ -129,7 +129,7 @@ func TestDonorRankTieBreaksToLowestIndex(t *testing.T) {
 			{sink: &stubSink{}, mode: core.ModeNormal, soc: 0.80},
 		},
 	}
-	c.rebuildDonorRank()
+	c.rebuildDonorRank(0)
 	if got := c.donor(0, false); got != 1 {
 		t.Fatalf("tie at 0.80 must pick site 1, got %d", got)
 	}

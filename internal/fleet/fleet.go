@@ -32,15 +32,24 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
 	"insure/internal/core"
 	"insure/internal/cost"
 	"insure/internal/sim"
+	"insure/internal/wan"
 	"insure/internal/workload"
 )
+
+// ErrAborted is returned by RunDay when Config.Abort stops the day
+// mid-flight — the fleet daemon's clean-shutdown and kill-injection path.
+// The partial day's effects are crash-consistent garbage by design: the
+// daemon resumes from its day-boundary snapshot and re-runs the whole day.
+var ErrAborted = errors.New("fleet: day aborted")
 
 // Config shapes a Coordinator.
 type Config struct {
@@ -68,6 +77,40 @@ type Config struct {
 	// built and before the first tick — the hook the chaos campaign uses to
 	// attach fault injectors and invariant probes.
 	Prepare func(day int, fl *sim.Fleet)
+
+	// WAN, when set, routes every cross-site shipment through the degraded
+	// backhaul model instead of the ideal single-shot path: transfers move
+	// chunk by chunk against the link's effective bandwidth, drops and CRC
+	// failures cost retransmissions (billed through the tariff), partitions
+	// stall transfers mid-image and resume them from the last delivered
+	// byte, and a heartbeat/lease failure detector replaces fiat knowledge
+	// of site death. Nil keeps the PR 7 behaviour exactly.
+	WAN *wan.Network
+	// ChunkBytes is the transfer chunk size (default 250 MB — 15 chunks
+	// per 5-minute pass on the default 100 Mbps backhaul).
+	ChunkBytes int64
+	// SuspectAfter is the number of consecutive missed heartbeats (control
+	// passes) before a site is suspected and leaves the donor pool
+	// (default 2). A suspected site keeps running solo — it is a complete
+	// plant — and rejoins on the first heartbeat that gets through.
+	SuspectAfter int
+	// LeasePasses is the number of consecutive missed heartbeats before a
+	// suspected site's lease expires and the coordinator declares it dead,
+	// journaling the loss (default 96 — 8 h at the 5-minute period, longer
+	// than any partition the chaos campaigns schedule, so a partitioned
+	// site is never declared dead).
+	LeasePasses int
+	// RerouteAfter is the number of consecutive zero-progress passes after
+	// which a transfer whose destination is suspected or unreachable
+	// re-routes to a fresh donor, restarting from byte zero (default 6).
+	RerouteAfter int
+	// MaxBackoff caps a stalled transfer's exponential retry backoff
+	// (default 30 min).
+	MaxBackoff time.Duration
+	// Abort, when set, is polled at every tick; returning true stops
+	// RunDay immediately with ErrAborted. The fleet daemon wires SIGTERM
+	// and its kill-injection test hook through this.
+	Abort func(day int, tod time.Duration) bool
 }
 
 // Site is one federated plant: a persistent identity whose Sink and
@@ -98,6 +141,16 @@ type siteState struct {
 	// evacuate is latched by the migrate-before-shed mode hook when the
 	// site's ladder downgrades, and cleared when it recovers to Normal.
 	evacuate bool
+
+	// Failure-detector view (WAN mode). dead above is physical truth the
+	// coordinator cannot observe across a degraded backhaul; these three
+	// are what it *believes*: missedBeats counts consecutive control
+	// passes without a heartbeat, suspected marks a site pulled from the
+	// donor pool, declared marks an expired lease — the point where the
+	// loss is journaled.
+	missedBeats int
+	suspected   bool
+	declared    bool
 
 	// Last control-period sample.
 	soc       float64
@@ -164,6 +217,39 @@ type Totals struct {
 	SitesLost     int
 	EnergyWh      float64
 	Cost          cost.Dollars
+
+	// Degraded-WAN accounting (zero when Config.WAN is nil).
+	RetransmitGB  float64 // bytes spent on the link beyond goodput
+	Reroutes      int     // transfers restarted toward a fresh donor
+	ChunkDrops    int     // chunk attempts lost in transit
+	ChunkCorrupts int     // chunk attempts discarded by CRC framing
+
+	// Guard counters: zero by construction, hard-failed by every test
+	// that sees them nonzero. JobsDoubleRun counts a job landing while
+	// already resident at a site (it would run in two places);
+	// SplitBrain counts a job entering a second transfer while still in
+	// flight. Re-migration — land, then later leave on a new transfer —
+	// is legitimate and trips neither.
+	JobsDoubleRun int
+	SplitBrain    int
+}
+
+// transfer is one chunked WAN shipment in flight: jobs (with manifest) or
+// checkpoint images. The durable part — identity, endpoints, byte offset —
+// is rebuilt from the migration log on recovery; the retry state is
+// re-derived by deterministically re-running the day.
+type transfer struct {
+	id       uint64
+	from, to int
+	images   int
+	manifest []JobRef // nil for checkpoint transfers
+	gb       float64
+	total    int64 // bytes
+	sent     int64 // contiguous delivered bytes
+
+	// Live-only retry state, reset at each day boundary.
+	stalled      int // consecutive zero-progress passes
+	backoffUntil time.Duration
 }
 
 // Coordinator owns N federated sites and drives their interleaved day loop.
@@ -174,6 +260,19 @@ type Coordinator struct {
 	sites    []siteState
 	inflight []shipment
 	failures []*siteFailure
+
+	// Chunked WAN transfer engine (Config.WAN set). xfers is the in-flight
+	// table, rebuilt from the migration log on recovery; nextXfer assigns
+	// transfer IDs; appliedSeq gates replay so a record is never applied
+	// twice. landed and inXfer are the exactly-once guards: a job ID that
+	// lands twice or enters a second transfer while in flight increments
+	// the Totals guard counters instead of silently double-running.
+	xfers     []*transfer
+	nextXfer  uint64
+	appliedSeq uint64
+	landed    map[uint64]bool
+	inXfer    map[uint64]uint64 // job ID -> transfer ID
+	heals     int               // suspected/declared sites that beat again
 
 	// donorRank is the pass-scoped donor ordering: site indices that pass
 	// every frozen donor filter, sorted by sampled SoC descending (ties to
@@ -224,14 +323,43 @@ func New(cfg Config, sites []Site) (*Coordinator, error) {
 	if tariff.Link.Mbps <= 0 {
 		tariff = cost.DefaultMigrationTariff()
 	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 250e6
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 2
+	}
+	if cfg.LeasePasses <= 0 {
+		cfg.LeasePasses = 96
+	}
+	if cfg.RerouteAfter <= 0 {
+		cfg.RerouteAfter = 6
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Minute
+	}
+	if cfg.WAN != nil && cfg.WAN.Sites() != len(sites) {
+		return nil, fmt.Errorf("fleet: WAN models %d sites, coordinator has %d",
+			cfg.WAN.Sites(), len(sites))
+	}
 
-	c := &Coordinator{cfg: cfg, tariff: tariff, sites: make([]siteState, len(sites))}
+	c := &Coordinator{
+		cfg: cfg, tariff: tariff, sites: make([]siteState, len(sites)),
+		landed: make(map[uint64]bool), inXfer: make(map[uint64]uint64),
+	}
 	for i := range sites {
 		name := sites[i].Name
 		if name == "" {
 			name = fmt.Sprintf("site%d", i)
 		}
 		c.sites[i] = siteState{name: name, sink: sites[i].Sink, mgr: sites[i].Manager}
+		if cfg.WAN != nil {
+			// Exactly-once tracking needs fleet-unique job IDs; give each
+			// site its own ID lane.
+			if s, ok := sites[i].Sink.(interface{ SetIDBase(uint64) }); ok {
+				s.SetIDBase(uint64(i+1) << 32)
+			}
+		}
 	}
 
 	if cfg.Migration {
@@ -258,15 +386,15 @@ func New(cfg Config, sites []Site) (*Coordinator, error) {
 	}
 
 	if cfg.LogDir != "" {
-		log, records, err := openLog(cfg.LogDir)
+		log, records, seqs, err := openLog(cfg.LogDir)
 		if err != nil {
 			return nil, err
 		}
 		c.log = log
 		if len(records) > 0 {
 			c.recovered = true
-			for _, r := range records {
-				c.replay(r)
+			for i, r := range records {
+				c.replay(r, seqs[i])
 			}
 		}
 	}
@@ -278,6 +406,12 @@ func (c *Coordinator) Recovered() bool { return c.recovered }
 
 // Totals returns the fleet-wide migration accounting so far.
 func (c *Coordinator) Totals() Totals { return c.totals }
+
+// LogSeq returns the last journal sequence number applied to the
+// coordinator's accounting (0 with no migration log). The fleet daemon
+// stamps this into its day-boundary snapshots so a resume can roll the
+// migration log back to exactly the snapshot's moment.
+func (c *Coordinator) LogSeq() uint64 { return c.appliedSeq }
 
 // Close releases the migration log. The coordinator must not be used after.
 func (c *Coordinator) Close() error {
@@ -298,11 +432,21 @@ func (c *Coordinator) ScheduleSiteFailure(day int, at time.Duration, site int) e
 	return nil
 }
 
-// replay folds one migration-log record back into the accounting — the
-// recovery path. Physical effects (jobs, checkpoints) live in the plants
-// and sinks, which have their own journals; the coordinator only owns the
-// migration bookkeeping.
-func (c *Coordinator) replay(r Record) {
+// replay folds one migration-log record back into the accounting — both the
+// recovery path and (via record) the live path, so the two are one code
+// path and cannot drift. Physical effects (jobs landing in sinks) happen
+// live in pumpTransfers, never here: replaying a healed log over a live
+// coordinator must change accounting only. Replay is idempotent: seq-gated
+// (a record at or below appliedSeq is skipped) and job landings deduplicate
+// by ID — a duplicate trips the JobsDoubleRun guard counter instead of
+// double-counting.
+func (c *Coordinator) replay(r Record, seq uint64) {
+	if seq != 0 {
+		if seq <= c.appliedSeq {
+			return
+		}
+		c.appliedSeq = seq
+	}
 	switch r.Kind {
 	case RecJob:
 		c.totals.Migrations++
@@ -333,19 +477,152 @@ func (c *Coordinator) replay(r Record) {
 		}
 	case RecSiteLoss:
 		c.totals.SitesLost++
+
+	case RecXferStart:
+		t := &transfer{
+			id: r.Xfer, from: r.From, to: r.To, images: r.Images,
+			manifest: r.Manifest, gb: r.GB, total: gbToBytes(r.GB),
+		}
+		c.xfers = append(c.xfers, t)
+		if r.Xfer > c.nextXfer {
+			c.nextXfer = r.Xfer
+		}
+		if len(r.Manifest) > 0 {
+			c.totals.Migrations++
+			c.totals.JobsMoved += r.Jobs
+			c.totals.MigratedGB += r.GB
+			if r.From >= 0 && r.From < len(c.sites) {
+				c.sites[r.From].jobsOut += r.Jobs
+				c.sites[r.From].gbOut += r.GB
+			}
+			for _, ref := range r.Manifest {
+				// A landed job may legitimately re-migrate (its new host
+				// evacuates in turn): entering a transfer takes it off its
+				// site. Being in two transfers at once never is.
+				if c.inXfer[ref.ID] != 0 {
+					c.totals.SplitBrain++
+					continue
+				}
+				delete(c.landed, ref.ID)
+				c.inXfer[ref.ID] = r.Xfer
+			}
+		} else {
+			c.totals.ImagesShipped += r.Images
+			c.totals.CheckpointGB += r.GB
+			if r.From >= 0 && r.From < len(c.sites) {
+				c.sites[r.From].imagesOut += r.Images
+			}
+		}
+
+	case RecXferProgress:
+		t := c.findXfer(r.Xfer)
+		if t == nil {
+			return
+		}
+		delta := r.Offset - t.sent
+		if delta < 0 {
+			delta = 0
+		}
+		t.sent = r.Offset
+		c.totals.RetransmitGB += bytesToGB(r.Attempted - delta)
+		c.totals.ChunkDrops += r.Drops
+		c.totals.ChunkCorrupts += r.Corrupts
+		// Every attempted byte rides the link: retransmissions are billed
+		// at the same tariff as goodput.
+		c.totals.EnergyWh += c.tariff.EnergyWhBytes(r.Attempted)
+		c.totals.Cost += c.tariff.CostBytes(r.Attempted)
+
+	case RecXferDone:
+		t := c.findXfer(r.Xfer)
+		if t == nil {
+			return
+		}
+		if len(t.manifest) > 0 {
+			for _, ref := range t.manifest {
+				delete(c.inXfer, ref.ID)
+				if c.landed[ref.ID] {
+					c.totals.JobsDoubleRun++
+					continue
+				}
+				c.landed[ref.ID] = true
+			}
+			if t.to >= 0 && t.to < len(c.sites) {
+				c.sites[t.to].jobsIn += len(t.manifest)
+				c.sites[t.to].gbIn += t.gb
+			}
+		} else {
+			c.totals.RestoredVMs += t.images
+			if t.to >= 0 && t.to < len(c.sites) {
+				c.sites[t.to].imagesIn += t.images
+			}
+		}
+		c.removeXfer(r.Xfer)
+
+	case RecXferReroute:
+		t := c.findXfer(r.Xfer)
+		if t == nil {
+			return
+		}
+		c.totals.Reroutes++
+		// Bytes already delivered to the abandoned destination are wasted.
+		c.totals.RetransmitGB += bytesToGB(r.Offset)
+		t.to = r.To
+		t.sent = 0
+
+	case RecXferAbort:
+		t := c.findXfer(r.Xfer)
+		if t == nil {
+			return
+		}
+		for _, ref := range t.manifest {
+			delete(c.inXfer, ref.ID)
+		}
+		if t.from >= 0 && t.from < len(c.sites) {
+			c.sites[t.from].lostPendingGB += r.GB
+		}
+		c.removeXfer(r.Xfer)
+	}
+}
+
+// findXfer returns the in-flight transfer with the given ID, or nil.
+func (c *Coordinator) findXfer(id uint64) *transfer {
+	for _, t := range c.xfers {
+		if t.id == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// removeXfer drops the transfer with the given ID from the in-flight table.
+func (c *Coordinator) removeXfer(id uint64) {
+	for i, t := range c.xfers {
+		if t.id == id {
+			c.xfers = append(c.xfers[:i], c.xfers[i+1:]...)
+			return
+		}
 	}
 }
 
 // record journals one migration event and folds it into the accounting.
 func (c *Coordinator) record(r Record) error {
+	var seq uint64
 	if c.log != nil {
-		if err := c.log.append(r); err != nil {
+		s, err := c.log.append(r)
+		if err != nil {
 			return fmt.Errorf("fleet: migration log: %w", err)
 		}
+		seq = s
 	}
-	c.replay(r)
+	c.replay(r, seq)
 	return nil
 }
+
+// gbToBytes and bytesToGB convert between the log's GB accounting and the
+// chunk engine's byte offsets (decimal GB, matching cost.BytesPerGB).
+func gbToBytes(gb float64) int64 { return int64(math.Round(gb * cost.BytesPerGB)) }
+
+func bytesToGB(b int64) float64 { return float64(b) / cost.BytesPerGB }
 
 // RunDay builds one System per site from cfgs (banks typically carry across
 // days via Config.Bank), and runs the interleaved federated day. Results
@@ -370,11 +647,20 @@ func (c *Coordinator) RunDay(cfgs []sim.Config) ([]sim.Result, error) {
 		c.sites[i].stalled = 0
 		c.sites[i].deadline = false
 		c.sites[i].lastInbound = 0
+		// The cluster (and its saved-image count) rebuilds fresh each day,
+		// so the shipping cursor must restart too.
+		c.sites[i].savedSeen = 0
 		if c.day > 0 {
 			if r, ok := c.sites[i].sink.(interface{ Rollover() }); ok {
 				r.Rollover()
 			}
 		}
+	}
+	for _, t := range c.xfers {
+		// Retry state is live-only: time-of-day restarts at dawn, and a
+		// resumed coordinator re-derives it by re-running the day.
+		t.stalled = 0
+		t.backoffUntil = 0
 	}
 	if c.cfg.Prepare != nil {
 		c.cfg.Prepare(c.day, fl)
@@ -383,6 +669,9 @@ func (c *Coordinator) RunDay(cfgs []sim.Config) ([]sim.Result, error) {
 	lo, hi := fl.Bounds()
 	step := fl.Step()
 	for tod := lo; tod < hi; tod += step {
+		if c.cfg.Abort != nil && c.cfg.Abort(c.day, tod) {
+			return nil, ErrAborted
+		}
 		for _, sf := range c.failures {
 			if !sf.done && sf.day == c.day && tod >= sf.at {
 				sf.done = true
@@ -421,6 +710,11 @@ func (c *Coordinator) failSite(fl *sim.Fleet, i int, tod time.Duration) error {
 	if ms, ok := st.sink.(migratableSink); ok {
 		st.lostPendingGB = ms.PendingGB()
 		ms.TakeJobs() // drop them: the site's storage died too
+	}
+	if c.cfg.WAN != nil {
+		// The coordinator cannot observe a death across a degraded backhaul;
+		// the failure detector journals the loss when the lease expires.
+		return nil
 	}
 	return c.record(Record{Day: c.day, At: tod, Kind: RecSiteLoss, From: i, To: -1})
 }
@@ -462,11 +756,17 @@ func (c *Coordinator) sample(fl *sim.Fleet, i int) {
 // it cannot promote or demote a ranked donor mid-pass). The sort is
 // stable over an index-ascending build, so equal SoCs keep lowest-index
 // priority — exactly the old linear scan's strict-greater tie-break.
-func (c *Coordinator) rebuildDonorRank() {
+func (c *Coordinator) rebuildDonorRank(tod time.Duration) {
 	c.donorRank = c.donorRank[:0]
 	for j := range c.sites {
 		st := &c.sites[j]
 		if st.dead || st.deadline || st.needsEvac(c.cfg.DeficitSoC) || st.mode != core.ModeNormal {
+			continue
+		}
+		// WAN mode: the coordinator only trusts sites it can currently
+		// reach and has not marked suspect — a stale sample is no basis
+		// for sending work somewhere.
+		if st.suspected || st.declared || c.wanPartitioned(j, tod) {
 			continue
 		}
 		if _, ok := st.sink.(migratableSink); !ok {
@@ -516,11 +816,67 @@ func (c *Coordinator) donor(from int, requireIdle bool) int {
 // start chewing before the coordinator may move the work again.
 const inboundGrace = 30 * time.Minute
 
+// wanPartitioned reports whether site i is cut off from the coordinator by
+// the WAN model right now (always false without a WAN).
+func (c *Coordinator) wanPartitioned(i int, tod time.Duration) bool {
+	return c.cfg.WAN != nil && c.cfg.WAN.Partitioned(i, c.day, tod)
+}
+
+// heartbeats advances the failure detector one control pass. A heartbeat
+// gets through iff the site is physically alive and not WAN-partitioned;
+// the coordinator cannot tell those two conditions apart, which is the
+// entire point: after SuspectAfter misses the site is suspected (pulled
+// from the donor pool, still running solo), and only after LeasePasses
+// misses — longer than any scheduled partition — does the lease expire
+// and the loss get journaled. A heartbeat from a suspected or declared
+// site heals it: replayed records deduplicate by job ID, so rejoining is
+// accounting-safe by construction.
+func (c *Coordinator) heartbeats(tod time.Duration) error {
+	for i := range c.sites {
+		st := &c.sites[i]
+		if !st.dead && !c.wanPartitioned(i, tod) {
+			if st.suspected || st.declared {
+				c.heals++
+			}
+			st.missedBeats = 0
+			st.suspected = false
+			st.declared = false
+			continue
+		}
+		st.missedBeats++
+		if st.missedBeats >= c.cfg.SuspectAfter {
+			st.suspected = true
+		}
+		if st.missedBeats >= c.cfg.LeasePasses && !st.declared {
+			st.declared = true
+			if c.cfg.Migration {
+				if err := c.record(Record{Day: c.day, At: tod, Kind: RecSiteLoss,
+					From: i, To: -1}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // pass is one coordinator control period: sample every site, then (with
 // migration on) deliver due checkpoint shipments, ship fresh checkpoints
-// off evacuating sites, and migrate deferred jobs toward surplus.
+// off evacuating sites, and migrate deferred jobs toward surplus. With a
+// WAN model attached, heartbeats run first and samples/shipments only
+// cross reachable links.
 func (c *Coordinator) pass(fl *sim.Fleet, tod time.Duration) error {
+	if c.cfg.WAN != nil {
+		if err := c.heartbeats(tod); err != nil {
+			return err
+		}
+	}
 	for i := range c.sites {
+		// A partitioned site cannot report: the coordinator keeps steering
+		// by its last sample until the link heals.
+		if c.wanPartitioned(i, tod) {
+			continue
+		}
 		c.sample(fl, i)
 	}
 	defer c.publishTelemetry()
@@ -536,6 +892,10 @@ func (c *Coordinator) pass(fl *sim.Fleet, tod time.Duration) error {
 	for i := range c.sites {
 		st := &c.sites[i]
 		if st.dead {
+			continue
+		}
+		if c.wanPartitioned(i, tod) {
+			// Frozen cursors: no fresh sample, so no rate judgment either.
 			continue
 		}
 		processed := st.lastProcessed
@@ -564,7 +924,11 @@ func (c *Coordinator) pass(fl *sim.Fleet, tod time.Duration) error {
 	// Every donor filter is now settled for this pass; rank the candidates
 	// once so the shipment and evacuation loops below pick donors by
 	// ordered walk instead of rescanning all N sites per call.
-	c.rebuildDonorRank()
+	c.rebuildDonorRank(tod)
+
+	if c.cfg.WAN != nil {
+		return c.passWAN(fl, tod)
+	}
 
 	// Deliver checkpoint shipments whose transfer has completed. A shipment
 	// addressed to a site that died in transit re-routes to a fresh donor —
@@ -664,6 +1028,247 @@ func (c *Coordinator) pass(fl *sim.Fleet, tod time.Duration) error {
 	return nil
 }
 
+// maxChunkTriesPerPass bounds chunk attempts per transfer per control pass
+// — a safety valve against a pathological drop rate spinning the pass loop.
+const maxChunkTriesPerPass = 128
+
+// attemptKey derives the per-attempt component of the chunk-fate hash from
+// the simulation clock, not from mutable retry counters: a resumed
+// coordinator re-running the day re-derives the exact same fates, which is
+// what makes kill/resume bit-identical.
+func attemptKey(day int, tod time.Duration, try int) int {
+	return (day*86400+int(tod/time.Second))*128 + try
+}
+
+// donorExcluding walks the donor rank for a destination that is neither the
+// source nor the excluded (failed) destination. Returns -1 if none.
+func (c *Coordinator) donorExcluding(from, except int) int {
+	for _, j := range c.donorRank {
+		if j == from || j == except {
+			continue
+		}
+		return j
+	}
+	return -1
+}
+
+// startTransfer opens a chunked transfer and journals its manifest. The
+// physical hand-off happens when the last chunk lands (pumpTransfers), so a
+// transfer cut short by a site death or reroute never half-delivers jobs.
+func (c *Coordinator) startTransfer(tod time.Duration, from, to int, manifest []JobRef, images int, gb float64) error {
+	id := c.nextXfer + 1
+	return c.record(Record{
+		Day: c.day, At: tod, Kind: RecXferStart,
+		From: from, To: to, Jobs: len(manifest), GB: gb, Images: images,
+		Xfer: id, Manifest: manifest,
+	})
+}
+
+// passWAN is the migration half of a control pass under the degraded-WAN
+// model: pump in-flight chunked transfers, then open new ones off
+// evacuating sites. Shipments only cross links the WAN says are up, and
+// destinations come from the reachability-filtered donor rank.
+func (c *Coordinator) passWAN(fl *sim.Fleet, tod time.Duration) error {
+	if err := c.pumpTransfers(fl, tod); err != nil {
+		return err
+	}
+
+	for i := range c.sites {
+		st := &c.sites[i]
+		energyEvac := st.needsEvac(c.cfg.DeficitSoC)
+		if st.dead || st.declared || !(energyEvac || st.deadline) {
+			continue
+		}
+		// A partitioned site cannot ship anything: its backlog waits for
+		// the link, exactly like a real cut fiber.
+		if c.wanPartitioned(i, tod) {
+			continue
+		}
+
+		// Ship newly completed checkpoint images off the evacuating site.
+		if saved := fl.System(i).Cluster.VMsSaved(); energyEvac && saved > st.savedSeen {
+			if to := c.donor(i, false); to >= 0 {
+				n := saved - st.savedSeen
+				st.savedSeen = saved
+				gb := float64(n) * c.tariff.VMImageGB
+				if err := c.startTransfer(tod, i, to, nil, n, gb); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Migrate the deferred batch backlog toward surplus. Jobs leave the
+		// source queue now but only land when the transfer completes — in
+		// between they exist solely in the journaled manifest.
+		ms, ok := st.sink.(migratableSink)
+		if !ok || st.pendingGB <= 0 {
+			continue
+		}
+		to := c.donor(i, !energyEvac)
+		if to < 0 {
+			continue
+		}
+		jobs := ms.TakeJobs()
+		if len(jobs) == 0 {
+			continue
+		}
+		manifest := make([]JobRef, len(jobs))
+		var gb float64
+		for k, j := range jobs {
+			gb += j.Remaining
+			origin := i
+			if j.Migrated {
+				origin = j.Origin
+			}
+			manifest[k] = JobRef{
+				ID: j.ID, Size: j.Size, Remaining: j.Remaining,
+				Arrived: j.Arrived, Origin: origin,
+			}
+		}
+		if err := c.startTransfer(tod, i, to, manifest, 0, gb); err != nil {
+			return err
+		}
+		st.pendingGB = 0
+	}
+	return nil
+}
+
+// pumpTransfers moves every in-flight transfer forward by one control
+// period's worth of link budget: chunks are attempted against the WAN's
+// seeded fate hash, progress (and every attempted byte, for billing) is
+// journaled, completed transfers land their jobs or images, transfers to a
+// declared-dead destination re-route to a fresh donor, and transfers whose
+// source died abort. Stalled transfers back off exponentially (capped at
+// MaxBackoff) so a partition doesn't burn the pass loop.
+func (c *Coordinator) pumpTransfers(fl *sim.Fleet, tod time.Duration) error {
+	// replay mutates c.xfers (done/abort remove entries), so walk a copy.
+	for _, t := range append([]*transfer(nil), c.xfers...) {
+		// Source declared dead: the unsent bytes died with the site. Jobs
+		// still in the manifest are lost exactly like queued jobs on the
+		// dead site — disposability, not double-run.
+		if c.sites[t.from].declared {
+			if err := c.record(Record{Day: c.day, At: tod, Kind: RecXferAbort,
+				From: t.from, To: t.to, Jobs: len(t.manifest),
+				GB: t.gb, Images: t.images, Xfer: t.id}); err != nil {
+				return err
+			}
+			continue
+		}
+
+		// Destination declared dead, or persistently unreachable: give the
+		// bytes to a donor that is actually there. Delivered bytes at the
+		// old destination are wasted; the transfer restarts from zero.
+		if c.sites[t.to].declared ||
+			(t.stalled >= c.cfg.RerouteAfter &&
+				(c.sites[t.to].suspected || c.wanPartitioned(t.to, tod))) {
+			if to := c.donorExcluding(t.from, t.to); to >= 0 {
+				if err := c.record(Record{Day: c.day, At: tod, Kind: RecXferReroute,
+					From: t.from, To: to, Jobs: len(t.manifest),
+					GB: bytesToGB(t.sent), Images: t.images,
+					Xfer: t.id, Offset: t.sent}); err != nil {
+					return err
+				}
+				t.stalled = 0
+				t.backoffUntil = 0
+			}
+			// No donor: hold and keep trying the old destination.
+		}
+
+		if tod < t.backoffUntil {
+			continue
+		}
+
+		eff := c.cfg.WAN.EffectiveMbps(t.from, t.to, c.day, tod)
+		destUp := !c.sites[t.to].dead
+		startSent := t.sent
+		sent := t.sent
+		var attempted int64
+		var drops, corrupts int
+		if eff > 0 && destUp {
+			budget := int64(eff * 1e6 / 8 * c.cfg.Period.Seconds())
+			tries := 0
+			for sent < t.total && tries < maxChunkTriesPerPass {
+				chunk := int(sent / c.cfg.ChunkBytes)
+				size := c.cfg.ChunkBytes
+				if rest := t.total - sent; rest < size {
+					size = rest
+				}
+				if budget < size {
+					break
+				}
+				budget -= size
+				attempted += size
+				fate := c.cfg.WAN.ChunkFate(t.from, t.to, t.id, chunk,
+					attemptKey(c.day, tod, tries))
+				tries++
+				switch fate {
+				case wan.Delivered:
+					sent += size
+				case wan.Dropped:
+					drops++
+				case wan.Corrupted:
+					corrupts++
+				}
+			}
+		}
+		if attempted > 0 {
+			// replay applies the offset to t.sent; mutating it here first
+			// would make the goodput delta (and RetransmitGB) compute wrong.
+			if err := c.record(Record{Day: c.day, At: tod, Kind: RecXferProgress,
+				From: t.from, To: t.to, Xfer: t.id, Offset: sent,
+				Attempted: attempted, Drops: drops, Corrupts: corrupts}); err != nil {
+				return err
+			}
+		}
+
+		if sent >= t.total {
+			to, images, manifest := t.to, t.images, t.manifest
+			if err := c.record(Record{Day: c.day, At: tod, Kind: RecXferDone,
+				From: t.from, To: to, Jobs: len(manifest),
+				GB: t.gb, Images: images, Xfer: t.id}); err != nil {
+				return err
+			}
+			// Physical hand-off is live-only: a replayed log adjusts
+			// accounting, never schedules jobs twice.
+			if len(manifest) > 0 {
+				dest, ok := c.sites[to].sink.(migratableSink)
+				if !ok {
+					return fmt.Errorf("fleet: transfer %d landed on non-batch site %d", t.id, to)
+				}
+				for _, ref := range manifest {
+					dest.Schedule(tod, &workload.Job{
+						ID: ref.ID, Size: ref.Size, Remaining: ref.Remaining,
+						Arrived: ref.Arrived, Migrated: true, Origin: ref.Origin,
+					})
+				}
+				if tod > c.sites[to].lastInbound {
+					c.sites[to].lastInbound = tod
+				}
+			}
+			continue
+		}
+
+		// Stall bookkeeping: zero progress grows an exponential backoff so
+		// a cut link is probed, not hammered.
+		if sent == startSent {
+			t.stalled++
+			shift := t.stalled - 1
+			if shift > 8 {
+				shift = 8
+			}
+			b := c.cfg.Period << shift
+			if b > c.cfg.MaxBackoff {
+				b = c.cfg.MaxBackoff
+			}
+			t.backoffUntil = tod + b
+		} else {
+			t.stalled = 0
+			t.backoffUntil = 0
+		}
+	}
+	return nil
+}
+
 // shipDur converts transfer hours to a duration rounded up to a whole
 // second so arrival times stay on the simulation grid.
 func shipDur(hours float64) time.Duration {
@@ -681,6 +1286,8 @@ func shipDur(hours float64) time.Duration {
 type SiteReport struct {
 	Name                string
 	Dead                bool
+	Reachable           bool // heartbeat got through on the last pass
+	Suspected           bool // pulled from the donor pool by the detector
 	SoC                 float64
 	Mode                core.OpMode
 	PendingGB           float64
@@ -697,6 +1304,7 @@ type Report struct {
 	Days      int
 	Migration bool
 	Recovered bool
+	Heals     int // suspected/declared sites that heartbeated again
 	Totals    Totals
 	Sites     []SiteReport
 }
@@ -707,6 +1315,7 @@ func (c *Coordinator) Report() *Report {
 		Days:      c.day,
 		Migration: c.cfg.Migration,
 		Recovered: c.recovered,
+		Heals:     c.heals,
 		Totals:    c.totals,
 		Sites:     make([]SiteReport, len(c.sites)),
 	}
@@ -714,6 +1323,7 @@ func (c *Coordinator) Report() *Report {
 		st := &c.sites[i]
 		sr := SiteReport{
 			Name: st.name, Dead: st.dead,
+			Reachable: st.missedBeats == 0, Suspected: st.suspected,
 			SoC: st.soc, Mode: st.mode, PendingGB: st.pendingGB,
 			JobsOut: st.jobsOut, JobsIn: st.jobsIn,
 			GBOut: st.gbOut, GBIn: st.gbIn,

@@ -24,10 +24,21 @@ type fleetTelemetry struct {
 	energyWh     *telemetry.Gauge
 	costUSD      *telemetry.Gauge
 
-	siteUp      []*telemetry.Gauge
-	siteSoC     []*telemetry.Gauge
-	siteMode    []*telemetry.Gauge
-	sitePending []*telemetry.Gauge
+	// Degraded-WAN series.
+	heals         *telemetry.Counter
+	reroutes      *telemetry.Counter
+	chunkDrops    *telemetry.Counter
+	chunkCorrupts *telemetry.Counter
+	jobsDoubleRun *telemetry.Counter
+	splitBrain    *telemetry.Counter
+	retransmitGB  *telemetry.Gauge
+
+	siteUp        []*telemetry.Gauge
+	siteSoC       []*telemetry.Gauge
+	siteMode      []*telemetry.Gauge
+	sitePending   []*telemetry.Gauge
+	siteReachable []*telemetry.Gauge
+	siteSuspected []*telemetry.Gauge
 }
 
 // AttachTelemetry publishes the coordinator's fleet- and site-level series
@@ -47,6 +58,14 @@ func (c *Coordinator) AttachTelemetry(reg *telemetry.Registry) {
 		checkpointGB: reg.Gauge("insure_fleet_checkpoint_gb", "Cumulative checkpoint volume shipped."),
 		energyWh:     reg.Gauge("insure_fleet_migration_energy_wh", "Cumulative backhaul transmission energy."),
 		costUSD:      reg.Gauge("insure_fleet_migration_cost_usd", "Cumulative backhaul service cost."),
+
+		heals:         reg.Counter("insure_fleet_heals_total", "Suspected or declared sites that heartbeated again."),
+		reroutes:      reg.Counter("insure_fleet_reroutes_total", "Chunked transfers restarted toward a fresh donor."),
+		chunkDrops:    reg.Counter("insure_fleet_chunk_drops_total", "Transfer chunks lost in transit."),
+		chunkCorrupts: reg.Counter("insure_fleet_chunk_corrupt_total", "Transfer chunks discarded by CRC framing."),
+		jobsDoubleRun: reg.Counter("insure_fleet_jobs_double_run_total", "Guard: job IDs that landed twice (must stay 0)."),
+		splitBrain:    reg.Counter("insure_fleet_split_brain_total", "Guard: jobs entering a transfer while in flight or landed (must stay 0)."),
+		retransmitGB:  reg.Gauge("insure_fleet_retransmit_gb", "Cumulative link bytes beyond goodput."),
 	}
 	for i := range c.sites {
 		lbl := telemetry.Label{Key: "site", Value: c.sites[i].name}
@@ -54,6 +73,8 @@ func (c *Coordinator) AttachTelemetry(reg *telemetry.Registry) {
 		t.siteSoC = append(t.siteSoC, reg.Gauge("insure_fleet_site_soc", "Site mean transduced state of charge.", lbl))
 		t.siteMode = append(t.siteMode, reg.Gauge("insure_fleet_site_mode", "Site survivability rung (0=normal).", lbl))
 		t.sitePending = append(t.sitePending, reg.Gauge("insure_fleet_site_pending_gb", "Site deferred batch backlog.", lbl))
+		t.siteReachable = append(t.siteReachable, reg.Gauge("insure_fleet_site_reachable", "1 while the site's heartbeat gets through.", lbl))
+		t.siteSuspected = append(t.siteSuspected, reg.Gauge("insure_fleet_site_suspected", "1 while the failure detector suspects the site.", lbl))
 	}
 	c.tel = t
 	c.publishTelemetry()
@@ -79,6 +100,16 @@ func (c *Coordinator) publishTelemetry() {
 		t.siteSoC[i].Set(st.soc)
 		t.siteMode[i].Set(float64(st.mode))
 		t.sitePending[i].Set(st.pendingGB)
+		reach := 1.0
+		if st.missedBeats > 0 {
+			reach = 0
+		}
+		t.siteReachable[i].Set(reach)
+		susp := 0.0
+		if st.suspected {
+			susp = 1
+		}
+		t.siteSuspected[i].Set(susp)
 	}
 	t.sites.Set(float64(len(c.sites)))
 	t.sitesLive.Set(float64(live))
@@ -93,6 +124,14 @@ func (c *Coordinator) publishTelemetry() {
 	t.checkpointGB.Set(tot.CheckpointGB)
 	t.energyWh.Set(tot.EnergyWh)
 	t.costUSD.Set(float64(tot.Cost))
+
+	setCounter(t.heals, c.heals)
+	setCounter(t.reroutes, tot.Reroutes)
+	setCounter(t.chunkDrops, tot.ChunkDrops)
+	setCounter(t.chunkCorrupts, tot.ChunkCorrupts)
+	setCounter(t.jobsDoubleRun, tot.JobsDoubleRun)
+	setCounter(t.splitBrain, tot.SplitBrain)
+	t.retransmitGB.Set(tot.RetransmitGB)
 }
 
 // setCounter advances a monotonic counter to the given absolute total.

@@ -316,6 +316,43 @@ func syncDir(dir string) error {
 	return cerr
 }
 
+// TruncateAfterSeq rolls the journal in dir back so the last record has a
+// sequence number at or below seq, discarding everything committed after
+// it. The fleet daemon uses this on resume: its day-boundary snapshot
+// names the migration-log seq at the start of the day, the tail of the
+// log (the partial day the crash interrupted) is cut back to that point,
+// and the day is re-run deterministically — regenerating the same records
+// the dead process wrote, so the healed log is bit-identical to one from
+// a process that never died.
+//
+// A snapshot newer than seq cannot be rolled back (snapshots are
+// destructive compaction) and is an error. The store must not be open.
+func TruncateAfterSeq(dir string, seq uint64) error {
+	res, err := Load(dir)
+	if err != nil {
+		return err
+	}
+	if res.Snapshot != nil && res.SnapshotSeq > seq {
+		return fmt.Errorf("journal: cannot truncate to seq %d: snapshot already at seq %d", seq, res.SnapshotSeq)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, journalName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	off := 0
+	for {
+		_, rseq, n := parseRecord(raw[off:])
+		if n == 0 || rseq > seq {
+			break
+		}
+		off += n
+	}
+	return os.Truncate(filepath.Join(dir, journalName), int64(off))
+}
+
 // TruncateTail chops n bytes off the end of the journal file — the test
 // and chaos-harness hook that manufactures a torn tail exactly the way a
 // mid-write power cut does. Chopping more bytes than the file holds

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"fmt"
 	"time"
 
+	"insure/internal/journal"
 	"insure/internal/workload"
 )
 
@@ -39,6 +41,10 @@ func NewSeismicSink() *BatchSink {
 
 // Spec returns the workload model.
 func (b *BatchSink) Spec() workload.Spec { return b.Queue.Spec }
+
+// SetIDBase namespaces the queue's job IDs (see workload.BatchQueue) so
+// they stay unique across a federated fleet.
+func (b *BatchSink) SetIDBase(base uint64) { b.Queue.SetIDBase(base) }
 
 // Tick injects due arrivals and feeds work to the queue.
 func (b *BatchSink) Tick(now, dt time.Duration, workVMh float64, nVMs int) float64 {
@@ -94,6 +100,41 @@ func (b *BatchSink) Rollover() {
 	for i := range b.scheduled {
 		b.scheduled[i].at = 0
 	}
+}
+
+// batchSinkStateVersion versions the sink's serialized layout.
+const batchSinkStateVersion = 1
+
+// AppendState serializes the sink — arrival cursor, in-flight scheduled
+// arrivals, and the whole queue — for the fleet daemon's day-boundary
+// snapshots.
+func (b *BatchSink) AppendState(e *journal.Encoder) {
+	e.U8(batchSinkStateVersion)
+	e.Int(b.next)
+	e.Dur(b.lastNow)
+	e.Int(len(b.scheduled))
+	for _, s := range b.scheduled {
+		e.Dur(s.at)
+		workload.AppendJobState(e, s.job)
+	}
+	b.Queue.AppendState(e)
+}
+
+// RestoreState overwrites the sink from an AppendState payload.
+func (b *BatchSink) RestoreState(d *journal.Decoder) error {
+	d.ExpectVersion(batchSinkStateVersion)
+	b.next = d.Int()
+	b.lastNow = d.Dur()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("sim: corrupt batch sink state: %w", err)
+	}
+	b.scheduled = b.scheduled[:0]
+	for i := 0; i < n; i++ {
+		at := d.Dur()
+		b.scheduled = append(b.scheduled, scheduledJob{at: at, job: workload.DecodeJobState(d)})
+	}
+	return b.Queue.RestoreState(d)
 }
 
 // HasWork reports pending jobs.

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+
+	"insure/internal/journal"
+)
+
+// Batch-queue state serialization, used by the fleet daemon's day-boundary
+// snapshots: a killed daemon restores every site's backlog, completion
+// history, and job-ID cursor bit-exactly, which is what makes its resumed
+// day byte-identical to the run that never died.
+
+const batchQueueStateVersion = 1
+
+// AppendJobState serializes one job; DecodeJobState reads it back. The
+// fleet layer also uses the pair for in-flight migrated jobs riding sink
+// snapshots.
+func AppendJobState(e *journal.Encoder, j *Job) { appendJob(e, j) }
+
+// DecodeJobState reads one job written by AppendJobState.
+func DecodeJobState(d *journal.Decoder) *Job { return decodeJob(d) }
+
+func appendJob(e *journal.Encoder, j *Job) {
+	e.U64(j.ID)
+	e.F64(j.Size)
+	e.F64(j.Remaining)
+	e.Dur(j.Arrived)
+	e.Dur(j.Done)
+	e.Bool(j.Migrated)
+	e.Int(j.Origin)
+}
+
+func decodeJob(d *journal.Decoder) *Job {
+	return &Job{
+		ID:        d.U64(),
+		Size:      d.F64(),
+		Remaining: d.F64(),
+		Arrived:   d.Dur(),
+		Done:      d.Dur(),
+		Migrated:  d.Bool(),
+		Origin:    d.Int(),
+	}
+}
+
+// AppendState serializes the queue — pending and completed jobs, the
+// processed total, and the ID cursor — onto enc.
+func (q *BatchQueue) AppendState(e *journal.Encoder) {
+	e.U8(batchQueueStateVersion)
+	e.U64(q.idBase)
+	e.U64(q.idSeq)
+	e.F64(q.processed)
+	e.Int(len(q.pending))
+	for _, j := range q.pending {
+		appendJob(e, j)
+	}
+	e.Int(len(q.completed))
+	for _, j := range q.completed {
+		appendJob(e, j)
+	}
+}
+
+// RestoreState overwrites the queue from a payload written by AppendState.
+func (q *BatchQueue) RestoreState(d *journal.Decoder) error {
+	d.ExpectVersion(batchQueueStateVersion)
+	q.idBase = d.U64()
+	q.idSeq = d.U64()
+	q.processed = d.F64()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("workload: corrupt batch queue state: %w", err)
+	}
+	q.pending = q.pending[:0]
+	for i := 0; i < n; i++ {
+		q.pending = append(q.pending, decodeJob(d))
+	}
+	n = d.Int()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("workload: corrupt batch queue state: %w", err)
+	}
+	q.completed = q.completed[:0]
+	for i := 0; i < n; i++ {
+		q.completed = append(q.completed, decodeJob(d))
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("workload: corrupt batch queue state: %w", err)
+	}
+	return nil
+}

@@ -135,6 +135,12 @@ func MicroSuite() []Spec {
 
 // Job is one batch work item.
 type Job struct {
+	// ID identifies the job across its whole life, including cross-site
+	// migration — the fleet coordinator's exactly-once guarantee
+	// deduplicates by it. IDs are assigned by the queue that created the
+	// job; give each site's queue a disjoint base (SetIDBase) so IDs stay
+	// unique fleet-wide.
+	ID        uint64
 	Size      float64 // GB
 	Remaining float64 // GB
 	Arrived   time.Duration
@@ -157,14 +163,23 @@ type BatchQueue struct {
 	pending   []*Job
 	completed []*Job
 	processed float64 // GB
+
+	idBase uint64
+	idSeq  uint64
 }
 
 // NewBatchQueue returns an empty queue for the given spec.
 func NewBatchQueue(s Spec) *BatchQueue { return &BatchQueue{Spec: s} }
 
+// SetIDBase namespaces this queue's job IDs. A federated deployment gives
+// every site a disjoint base (the fleet coordinator uses (site+1)<<32) so
+// a job keeps a fleet-unique identity wherever it migrates.
+func (q *BatchQueue) SetIDBase(base uint64) { q.idBase = base }
+
 // Add enqueues a job of size GB arriving at time now.
 func (q *BatchQueue) Add(now time.Duration, sizeGB float64) {
-	q.pending = append(q.pending, &Job{Size: sizeGB, Remaining: sizeGB, Arrived: now})
+	q.idSeq++
+	q.pending = append(q.pending, &Job{ID: q.idBase + q.idSeq, Size: sizeGB, Remaining: sizeGB, Arrived: now})
 }
 
 // Tick consumes workVMh VM-hours of cluster work at the given VM count,
