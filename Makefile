@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet smoke-gateway race-gateway smoke-wan race-wan vet check bench bench-json bench-scaling perf-diff experiments clean
+.PHONY: all build test race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet smoke-gateway race-gateway smoke-wan race-wan smoke-bitrot race-bitrot vet vet-storage check bench bench-json bench-scaling perf-diff experiments clean
 
 all: build
 
@@ -110,6 +110,29 @@ race-wan:
 	$(GO) test -race -count=1 -run 'TestWANStorm' -v ./internal/chaos
 	$(GO) test -race -count=1 ./cmd/insure-fleetd
 
+# smoke-bitrot runs the quick self-healing storage gates: the seeded
+# disk-fault filesystem's own suite, the mirrored-journal and scrubber
+# tests, and the clean-disk harness pin of the bit-rot storm. A failing
+# storm prints its seed; rerun with `go test -run TestBitrotStorm
+# ./internal/chaos -v`.
+smoke-bitrot:
+	$(GO) test -count=1 ./internal/diskfault
+	$(GO) test -count=1 -run 'TestBitrotStormCleanDiskIsQuiet' -v ./internal/chaos
+
+# race-bitrot runs the full three-day bit-rot storm — torn writes, failed
+# fsyncs, sick-disk windows, at-rest decay under both the state journal
+# and the fleet's migration log and checkpoint images, plus the same-seed
+# bit-identity rerun — under the race detector.
+race-bitrot:
+	$(GO) test -race -count=1 -run 'TestBitrotStorm' -v ./internal/chaos
+
+# vet-storage is the storage-integrity vet step: it rejects any bare
+# statement-level Sync()/Close() call in the durability packages, where
+# a silently discarded fsync verdict would fake durability (see
+# internal/tools/synccheck).
+vet-storage:
+	$(GO) run ./internal/tools/synccheck ./internal/journal ./internal/fleet
+
 # bench-scaling measures the plant-years/sec workers-scaling curve on a
 # short campaign and enforces the speedup gate: on N >= 2 cores, speedup at
 # N workers must reach 0.7*N or the target fails. On a single-core machine
@@ -122,9 +145,9 @@ bench-scaling:
 # runner are exercised concurrently there), the injected-fault smoke
 # simulation, the telemetry-plane smoke test, the crash-recovery chaos
 # campaigns, the energy-emergency survivability gates, the fleet-federation
-# gates, the serving-plane gates, the degraded-WAN gates, and the multicore
-# scaling gate.
-check: vet build race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet smoke-gateway race-gateway smoke-wan race-wan bench-scaling
+# gates, the serving-plane gates, the degraded-WAN gates, the self-healing
+# storage gates, and the multicore scaling gate.
+check: vet vet-storage build race race-faults smoke-faults smoke-metrics smoke-chaos race-chaos smoke-survival race-survival smoke-fleet race-fleet smoke-gateway race-gateway smoke-wan race-wan smoke-bitrot race-bitrot bench-scaling
 
 # bench runs the simulation hot-path and experiment benchmarks.
 bench:

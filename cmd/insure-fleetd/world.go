@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"time"
 
@@ -39,9 +38,14 @@ type worldConfig struct {
 	partitions       []wan.Outage // test override; nil plans from Seed
 
 	// StateDir, when set, makes the world durable: the migration log lives
-	// in StateDir/miglog and a day-boundary snapshot of every site's
-	// batteries, control state, and work queues lives in StateDir itself.
+	// in StateDir/miglog, landed checkpoint images in StateDir/images, and
+	// a day-boundary snapshot of every site's batteries, control state, and
+	// work queues lives in StateDir itself.
 	StateDir string
+	// FS mounts the durable state on an alternative filesystem — the
+	// disk-fault storm injects storage failures through it. Nil means the
+	// real disk.
+	FS journal.FS
 }
 
 // snapStateVersion guards the fleetd snapshot layout.
@@ -58,6 +62,7 @@ type world struct {
 	coord *fleet.Coordinator
 	net   *wan.Network
 	snap  *journal.Store // nil without StateDir
+	scrub *journal.Scrubber
 	reg   *telemetry.Registry
 
 	day     int // completed days
@@ -168,14 +173,23 @@ func newWorld(cfg worldConfig) (*world, error) {
 	// opens the migration log, because resuming means rolling the log back
 	// to the snapshot's moment first — records the dead incarnation wrote
 	// during its final partial day are crash-consistent garbage.
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = journal.Disk
+	}
 	var miglogDir string
+	var images *fleet.ImageStore
 	var snapDec *journal.Decoder
 	if cfg.StateDir != "" {
 		miglogDir = filepath.Join(cfg.StateDir, "miglog")
-		if err := os.MkdirAll(miglogDir, 0o755); err != nil {
+		if err := fsys.MkdirAll(miglogDir); err != nil {
 			return nil, err
 		}
-		res, err := journal.Load(cfg.StateDir)
+		images, err = fleet.NewImageStore(fsys, filepath.Join(cfg.StateDir, "images"))
+		if err != nil {
+			return nil, err
+		}
+		res, err := journal.LoadFS(fsys, cfg.StateDir)
 		if err != nil {
 			return nil, err
 		}
@@ -187,7 +201,7 @@ func newWorld(cfg worldConfig) (*world, error) {
 			if err := d.Err(); err != nil {
 				return nil, fmt.Errorf("insure-fleetd: corrupt snapshot: %w", err)
 			}
-			if err := journal.TruncateAfterSeq(miglogDir, miglogSeq); err != nil {
+			if err := journal.TruncateAfterSeqFS(fsys, miglogDir, miglogSeq); err != nil {
 				return nil, err
 			}
 			snapDec = d
@@ -196,16 +210,29 @@ func newWorld(cfg worldConfig) (*world, error) {
 			// No snapshot: the prior incarnation (if any) died inside day
 			// 0. Cold-start — wipe its partial records so the re-run day
 			// appends onto an empty log.
-			if err := journal.TruncateAfterSeq(miglogDir, 0); err != nil {
+			if err := journal.TruncateAfterSeqFS(fsys, miglogDir, 0); err != nil {
 				return nil, err
 			}
 		}
+		// Storage integrity plane: the scrubber patrols all three stores —
+		// snapshots, migration log, landed images — repairing damaged
+		// mirror copies. The run loop sweeps at every day boundary; the
+		// "storage" health check reports writability, mirror sync, and
+		// sweep freshness.
+		w.scrub = journal.NewScrubber(
+			journal.Target{Name: "snapshots", Dir: cfg.StateDir, FS: fsys},
+			journal.Target{Name: "miglog", Dir: miglogDir, FS: fsys},
+			journal.Target{Name: "images", Dir: images.Dir(), FS: fsys},
+		)
+		w.scrub.Interval = 24 * time.Hour // swept at day boundaries, not on a wall clock
 	}
 
 	w.coord, err = fleet.New(fleet.Config{
 		Migration: cfg.Migration,
 		WAN:       net,
 		LogDir:    miglogDir,
+		LogFS:     cfg.FS,
+		Images:    images,
 		Abort: func(day int, tod time.Duration) bool {
 			return w.abort != nil && w.abort(day, tod)
 		},
@@ -241,7 +268,7 @@ func newWorld(cfg worldConfig) (*world, error) {
 	}
 
 	if cfg.StateDir != "" {
-		w.snap, err = journal.Open(cfg.StateDir)
+		w.snap, err = journal.OpenFS(fsys, cfg.StateDir)
 		if err != nil {
 			return nil, err
 		}
@@ -277,6 +304,9 @@ func (w *world) snapshot() error {
 func (w *world) attachTelemetry() *telemetry.Registry {
 	reg := telemetry.NewRegistry()
 	w.coord.AttachTelemetry(reg)
+	if w.scrub != nil {
+		w.scrub.AttachTelemetry(reg)
+	}
 	for i := 0; i < w.cfg.Sites; i++ {
 		name := fmt.Sprintf("site%d", i)
 		lbl := telemetry.Label{Key: "site", Value: name}
@@ -321,6 +351,13 @@ func (w *world) run(ctx context.Context, killAt func(day int, tod time.Duration)
 		w.day++
 		if err := w.snapshot(); err != nil {
 			return err
+		}
+		// Day-boundary scrub: repair any decay before the next day's
+		// commits land on top of it.
+		if w.scrub != nil {
+			if _, err := w.scrub.RunOnce(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

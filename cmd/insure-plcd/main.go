@@ -34,6 +34,7 @@ import (
 
 	"insure/internal/battery"
 	"insure/internal/faults"
+	"insure/internal/journal"
 	"insure/internal/modbus"
 	"insure/internal/plc"
 	"insure/internal/relay"
@@ -189,6 +190,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "127.0.0.1:9620", "HTTP listen address for /metrics and /healthz (empty disables)")
 	debugAddr := flag.String("debug-addr", "", "HTTP listen address for net/http/pprof (empty disables)")
 	stateDir := flag.String("state-dir", "", "journal panel state to this directory; a restarted daemon resumes SoC, wear, relay and register state")
+	scrubEvery := flag.Duration("scrub-interval", time.Minute, "background CRC scrub cadence for the state directory (0 disables)")
 	sessionTimeout := flag.Duration("session-timeout", 30*time.Second, "idle limit before a silent Modbus session is reaped (0 disables)")
 	flag.Parse()
 
@@ -263,6 +265,21 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Storage integrity plane: a background scrubber CRC-walks the state
+	// directory, repairs damaged mirror copies, and backs the "storage"
+	// health check (dir writable, mirrors in sync, last sweep fresh). A
+	// poisoned journal (failed fsync) degrades /healthz through the
+	// state-journal check.
+	if ps != nil {
+		p.reg.AddHealthCheck("state-journal", ps.Err)
+		if *scrubEvery > 0 {
+			scrub := journal.NewScrubber(ps.scrubTarget())
+			scrub.Interval = *scrubEvery
+			scrub.AttachTelemetry(p.reg)
+			go scrub.Run(ctx)
+		}
+	}
 
 	// Real-time plant loop: 1 s physics ticks under the watchdog. A
 	// panicked or wedged loop is replaced in-process, re-synced from the

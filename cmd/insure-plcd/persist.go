@@ -56,7 +56,8 @@ func (p *panel) restoreState(b []byte) (time.Duration, error) {
 // the plant while an abandoned loop incarnation is still unwinding out of
 // a stalled commit.
 type panelStore struct {
-	dir string
+	dir  string
+	fsys journal.FS
 
 	mu            sync.Mutex
 	store         *journal.Store
@@ -66,14 +67,26 @@ type panelStore struct {
 	err           error
 }
 
-// openPanelStore opens (or creates) the state directory. Any torn tail
-// left by a crash is truncated away here.
+// openPanelStore opens (or creates) the state directory on the real disk.
+// Any torn tail left by a crash is truncated away here.
 func openPanelStore(dir string) (*panelStore, error) {
-	st, err := journal.Open(dir)
+	return openPanelStoreFS(journal.Disk, dir)
+}
+
+// openPanelStoreFS is openPanelStore on an explicit filesystem — the
+// disk-fault storm mounts the store on an injecting FS through this.
+func openPanelStoreFS(fsys journal.FS, dir string) (*panelStore, error) {
+	st, err := journal.OpenFS(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	return &panelStore{dir: dir, store: st, snapshotEvery: defaultPanelSnapshotEvery}, nil
+	return &panelStore{dir: dir, fsys: fsys, store: st, snapshotEvery: defaultPanelSnapshotEvery}, nil
+}
+
+// scrubTarget exposes the store directory to a journal.Scrubber, sharing
+// the store mutex so sweeps serialize with commits.
+func (s *panelStore) scrubTarget() journal.Target {
+	return journal.Target{Name: "panel-state", Dir: s.dir, FS: s.fsys, Lock: &s.mu}
 }
 
 // restoreInto loads the newest committed state image into p. Returns the
@@ -81,7 +94,7 @@ func openPanelStore(dir string) (*panelStore, error) {
 func (s *panelStore) restoreInto(p *panel) (time.Duration, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	res, err := journal.Load(s.dir)
+	res, err := journal.LoadFS(s.fsys, s.dir)
 	if err != nil {
 		return 0, false, err
 	}

@@ -32,20 +32,31 @@
 //     event kind never shifts the schedule of later events under the same
 //     seed.
 //  2. Stateless per-chunk fates. Per-tick randomness that cannot be planned
-//     up front — one WAN chunk's delivered/dropped/corrupted fate — is a
-//     pure hash (SplitMix64) of (seed, from, to, transfer, chunk, attempt).
+//     up front — one WAN chunk's delivered/dropped/corrupted fate, one
+//     disk write's torn/failed fate — is a pure hash (SplitMix64) of its
+//     coordinates: (seed, from, to, transfer, chunk, attempt) for the WAN,
+//     (seed, path, op kind, per-path op count) for internal/diskfault.
 //     No stream state survives between draws, so a daemon resumed from a
-//     snapshot re-derives the identical fates mid-image.
+//     snapshot re-derives the identical fates mid-image. Disk bit rot
+//     extends the scheme with a persistence key: decay is drawn per
+//     (seed, path, file generation), the generation bumping on every
+//     create-or-replace event, so a decayed file reads back identically
+//     decayed until something rewrites it — which is what makes
+//     scrub-and-repair both observable and reproducible.
 //  3. No randomness at all. Deterministic fault hooks such as
-//     faults.FlakyProxy.SetPartition are switched on and off by the
-//     campaign at planned times; the mechanism itself has no entropy to
-//     seed away, and its effect is reproduced by replaying the plan.
+//     faults.FlakyProxy.SetPartition and diskfault.FS.SetDegraded (the
+//     sick-disk window: every fsync fails while it is on) are switched on
+//     and off by the campaign at planned times; the mechanism itself has
+//     no entropy to seed away, and its effect is reproduced by replaying
+//     the plan.
 //
 // Seed lanes keep concurrent streams disjoint: per-site solar traces use
 // seed+1000*(site+1)+day, the WAN partition planner offsets the campaign
-// seed, and chunk fates fold the link seed into the hash. Never share one
-// PRNG between layers and never draw a data-dependent number of values —
-// both break bit-identical reruns and snapshot resume.
+// seed, chunk fates fold the link seed into the hash, and the bit-rot
+// storm gives its kill planner and each injecting filesystem its own
+// additive lane constant. Never share one PRNG between layers and never
+// draw a data-dependent number of values — both break bit-identical
+// reruns and snapshot resume.
 package chaos
 
 import (

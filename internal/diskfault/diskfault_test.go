@@ -1,0 +1,237 @@
+package diskfault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"insure/internal/journal"
+)
+
+// script runs a fixed op sequence through an FS rooted at dir and
+// returns a digest of every read plus the fault stats.
+func script(t *testing.T, fsys *FS, dir string) ([][]byte, Stats) {
+	t.Helper()
+	if err := fsys.MkdirAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	var reads [][]byte
+	for i := 0; i < 8; i++ {
+		name := filepath.Join(dir, "f"+string(rune('a'+i%3))+".bin")
+		f, err := fsys.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, werr := f.Write(bytes.Repeat([]byte{byte(i)}, 64))
+		serr := f.Sync()
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_ = werr
+		_ = serr
+		b, rerr := fsys.ReadFile(name)
+		if rerr != nil {
+			b = nil
+		}
+		reads = append(reads, append([]byte(nil), b...))
+	}
+	return reads, fsys.Stats()
+}
+
+func TestSameSeedSameFates(t *testing.T) {
+	cfg := Config{Seed: 42, TornWrite: 0.2, WriteFail: 0.1, SyncFail: 0.15, BitRot: 0.3, ShortRead: 0.2, LoseRename: 0.2}
+
+	dirA := t.TempDir()
+	cfgA := cfg
+	cfgA.Root = dirA
+	readsA, statsA := script(t, New(cfgA, nil), dirA)
+
+	dirB := t.TempDir()
+	cfgB := cfg
+	cfgB.Root = dirB
+	readsB, statsB := script(t, New(cfgB, nil), dirB)
+
+	if statsA != statsB {
+		t.Errorf("stats differ across identical runs: %+v vs %+v", statsA, statsB)
+	}
+	for i := range readsA {
+		if !bytes.Equal(readsA[i], readsB[i]) {
+			t.Errorf("read %d differs across identical runs", i)
+		}
+	}
+	if statsA == (Stats{}) {
+		t.Error("script injected no faults; rates too low to test anything")
+	}
+}
+
+func TestBitRotIsStableUntilRewrite(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(Config{Seed: 7, Root: dir, BitRot: 1}, nil)
+	name := filepath.Join(dir, "decay.bin")
+	payload := bytes.Repeat([]byte{0x55}, 512)
+
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r1, err := fsys.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := fsys.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(r1, payload) {
+		t.Fatal("BitRot=1 did not decay the file")
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("decay not stable: two reads saw different bits")
+	}
+	diff := 0
+	for i := range r1 {
+		if r1[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("decay touched %d bytes, want exactly 1 (single bit flip)", diff)
+	}
+
+	// Rewriting the file re-rolls the rot lottery at a new position: the
+	// new generation decays independently of the old one.
+	f, err = fsys.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := fsys.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(r1, r3) {
+		t.Error("rewrite kept the old generation's decay; generation not re-keyed")
+	}
+}
+
+func TestTornWritePoisonsStore(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(Config{Seed: 3, Root: dir, TornWrite: 1}, nil)
+	s, err := journal.OpenFS(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(bytes.Repeat([]byte{1}, 128)); err == nil {
+		t.Fatal("torn write not surfaced")
+	}
+	if s.Failed() == nil {
+		t.Fatal("store not poisoned after torn write")
+	}
+	if _, err := s.Append([]byte("x")); !errors.Is(err, journal.ErrPoisoned) {
+		t.Fatalf("append after torn write = %v, want ErrPoisoned", err)
+	}
+	_ = s.Close()
+}
+
+func TestDegradedWindowFailsFsync(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(Config{Seed: 5, Root: dir}, nil)
+	s, err := journal.OpenFS(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	fsys.SetDegraded(true)
+	if _, err := s.Append([]byte("during")); err == nil {
+		t.Fatal("fsync in degraded window did not fail")
+	}
+	if s.Failed() == nil {
+		t.Fatal("store not poisoned by degraded-window fsync")
+	}
+	_ = s.Close()
+
+	// Window over: a rebuilt store on the same dir must work again and
+	// must still hold the records whose commit was acknowledged.
+	fsys.SetDegraded(false)
+	s2, err := journal.OpenFS(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := journal.LoadFS(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range res.Entries {
+		if string(e) == "before" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("acknowledged record lost across poison/rebuild")
+	}
+}
+
+func TestJournalSurvivesRotWithScrub(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(Config{Seed: 11, Root: dir, BitRot: 0.4}, nil)
+	s, err := journal.OpenFS(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < 30; i++ {
+		if _, err := s.Append([]byte{0xCC, byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		want++
+		if i%10 == 9 {
+			if err := s.Snapshot([]byte{0xDD, byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			want = 0 // superseded
+			if _, err := journal.ScrubDir(fsys, dir); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := journal.ScrubDir(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unrepairable != 0 {
+		t.Fatalf("scrub left %d unrepairable under mirrored rot", rep.Unrepairable)
+	}
+	res, err := journal.LoadFS(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != want {
+		t.Errorf("entries = %d, want %d after rot+scrub", len(res.Entries), want)
+	}
+}

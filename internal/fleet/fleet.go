@@ -40,6 +40,7 @@ import (
 
 	"insure/internal/core"
 	"insure/internal/cost"
+	"insure/internal/journal"
 	"insure/internal/sim"
 	"insure/internal/wan"
 	"insure/internal/workload"
@@ -73,6 +74,15 @@ type Config struct {
 	// journaled there, and a new Coordinator on the same directory replays
 	// it (see Recovered).
 	LogDir string
+	// LogFS mounts the migration log on an alternative filesystem — the
+	// disk-fault campaigns inject storage failures through it. Nil means
+	// the real disk.
+	LogFS journal.FS
+	// Images, when set, persists every landed checkpoint bundle as a
+	// mirrored CRC-framed pair and verifies it before the restore is
+	// counted; a landing with no intact copy is re-shipped instead of
+	// counted (see ImageStore).
+	Images *ImageStore
 	// Prepare, when set, runs once per day after the day's Systems are
 	// built and before the first tick — the hook the chaos campaign uses to
 	// attach fault injectors and invariant probes.
@@ -191,6 +201,7 @@ func (st *siteState) needsEvac(deficit float64) bool {
 
 // shipment is a bundle of checkpoint images in transit between sites.
 type shipment struct {
+	id       uint64 // image-store key (legacy lane, high bit set)
 	arriveAt time.Duration
 	from, to int
 	images   int
@@ -269,6 +280,7 @@ type Coordinator struct {
 	// the Totals guard counters instead of silently double-running.
 	xfers     []*transfer
 	nextXfer  uint64
+	nextShip  uint64 // legacy shipment IDs for the image store
 	appliedSeq uint64
 	landed    map[uint64]bool
 	inXfer    map[uint64]uint64 // job ID -> transfer ID
@@ -386,7 +398,11 @@ func New(cfg Config, sites []Site) (*Coordinator, error) {
 	}
 
 	if cfg.LogDir != "" {
-		log, records, seqs, err := openLog(cfg.LogDir)
+		fsys := cfg.LogFS
+		if fsys == nil {
+			fsys = journal.Disk
+		}
+		log, records, seqs, err := openLog(fsys, cfg.LogDir)
 		if err != nil {
 			return nil, err
 		}
@@ -582,6 +598,13 @@ func (c *Coordinator) replay(r Record, seq uint64) {
 		}
 		c.removeXfer(r.Xfer)
 	}
+}
+
+// shipID assigns an image-store key to a legacy (non-WAN) shipment. The
+// high bit keeps the legacy lane disjoint from WAN transfer IDs.
+func (c *Coordinator) shipID() uint64 {
+	c.nextShip++
+	return 1<<63 | c.nextShip
 }
 
 // findXfer returns the in-flight transfer with the given ID, or nil.
@@ -943,6 +966,7 @@ func (c *Coordinator) pass(fl *sim.Fleet, tod time.Duration) error {
 		if c.sites[sh.to].dead {
 			if to := c.donor(sh.from, false); to >= 0 {
 				reroute := shipment{
+					id:       c.shipID(),
 					arriveAt: tod + shipDur(c.tariff.ShipHours(sh.gb)),
 					from:     sh.to, to: to, images: sh.images, gb: sh.gb,
 				}
@@ -953,6 +977,22 @@ func (c *Coordinator) pass(fl *sim.Fleet, tod time.Duration) error {
 				}
 			} else {
 				kept = append(kept, sh) // hold until a donor appears
+			}
+			continue
+		}
+		if !c.landImages(sh.id, sh.to) {
+			// The landing could not be verified: the checkpoint is still
+			// durable at the source, so it ships again — journaled as a
+			// fresh checkpoint shipment, never counted as a restore.
+			c.cfg.Images.stats.Reshipped++
+			kept = append(kept, shipment{
+				id:       c.shipID(),
+				arriveAt: tod + shipDur(c.tariff.ShipHours(sh.gb)),
+				from:     sh.from, to: sh.to, images: sh.images, gb: sh.gb,
+			})
+			if err := c.record(Record{Day: c.day, At: tod, Kind: RecCheckpoint,
+				From: sh.from, To: sh.to, Images: sh.images, GB: sh.gb}); err != nil {
+				return err
 			}
 			continue
 		}
@@ -980,6 +1020,7 @@ func (c *Coordinator) pass(fl *sim.Fleet, tod time.Duration) error {
 				st.savedSeen = saved
 				gb := float64(n) * c.tariff.VMImageGB
 				c.inflight = append(c.inflight, shipment{
+					id:       c.shipID(),
 					arriveAt: tod + shipDur(c.tariff.ShipHours(gb)),
 					from:     i, to: to, images: n, gb: gb,
 				})
@@ -1222,6 +1263,22 @@ func (c *Coordinator) pumpTransfers(fl *sim.Fleet, tod time.Duration) error {
 		}
 
 		if sent >= t.total {
+			// Image transfers must land verifiably before the restore is
+			// journaled. An unverifiable landing re-ships to the same
+			// destination: a reroute record resets the transfer to byte
+			// zero, billing the wasted bytes, and the next completion
+			// rewrites the image pair from scratch.
+			if len(t.manifest) == 0 && t.images > 0 && !c.landImages(t.id, t.to) {
+				c.cfg.Images.stats.Reshipped++
+				if err := c.record(Record{Day: c.day, At: tod, Kind: RecXferReroute,
+					From: t.from, To: t.to, GB: bytesToGB(sent), Images: t.images,
+					Xfer: t.id, Offset: sent}); err != nil {
+					return err
+				}
+				t.stalled = 0
+				t.backoffUntil = 0
+				continue
+			}
 			to, images, manifest := t.to, t.images, t.manifest
 			if err := c.record(Record{Day: c.day, At: tod, Kind: RecXferDone,
 				From: t.from, To: to, Jobs: len(manifest),

@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"insure/internal/journal"
+)
+
+func imagePaths(t *testing.T, st *ImageStore, xfer uint64, to int) (string, string) {
+	t.Helper()
+	p, m := imageNames(xfer)
+	return filepath.Join(st.siteDir(to), p), filepath.Join(st.siteDir(to), m)
+}
+
+func damage(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImageLandAndVerify(t *testing.T) {
+	st, err := NewImageStore(nil, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Land(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Verify(7, 1) {
+		t.Fatal("freshly landed image failed verify")
+	}
+
+	// One damaged copy: verify still passes and rebuilds the mirror.
+	_, m := imagePaths(t, st, 7, 1)
+	damage(t, m)
+	if !st.Verify(7, 1) {
+		t.Fatal("verify failed with an intact primary")
+	}
+	p, _ := imagePaths(t, st, 7, 1)
+	pb, _ := os.ReadFile(p)
+	mb, _ := os.ReadFile(m)
+	if string(pb) != string(mb) {
+		t.Error("mirror not rebuilt from primary")
+	}
+
+	// Both copies damaged: the landing is gone; verify must say so.
+	damage(t, p)
+	damage(t, m)
+	if st.Verify(7, 1) {
+		t.Fatal("verify passed with no intact copy")
+	}
+	s := st.Stats()
+	if s.Landed != 1 || s.Verified != 2 || s.Repaired != 1 || s.Corrupt != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestImageStoreScrubbable(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewImageStore(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(1); x <= 3; x++ {
+		if err := st.Land(x, int(x%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, m := imagePaths(t, st, 2, 0)
+	damage(t, m)
+
+	// One scrub target on the store root sweeps every site subdirectory.
+	rep, err := journal.ScrubDir(journal.Disk, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected != 1 || rep.Repaired != 1 || rep.Unrepairable != 0 {
+		t.Fatalf("report = %+v, want the damaged mirror repaired", rep)
+	}
+	if !st.Verify(2, 0) {
+		t.Fatal("image broken after scrub repair")
+	}
+}
+
+func TestImagePayloadDeterministic(t *testing.T) {
+	a, b := imagePayload(99), imagePayload(99)
+	if string(a) != string(b) {
+		t.Fatal("imagePayload not deterministic")
+	}
+	if string(imagePayload(98)) == string(a) {
+		t.Fatal("distinct transfers share a payload")
+	}
+}

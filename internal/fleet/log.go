@@ -200,11 +200,11 @@ type migLog struct {
 	enc   journal.Encoder
 }
 
-// openLog opens (or creates) the migration log in dir and returns every
-// record already present with its journal sequence number — the replay set
-// (seq-gating makes replay idempotent).
-func openLog(dir string) (*migLog, []Record, []uint64, error) {
-	res, err := journal.Load(dir)
+// openLog opens (or creates) the migration log in dir on fsys and returns
+// every record already present with its journal sequence number — the
+// replay set (seq-gating makes replay idempotent).
+func openLog(fsys journal.FS, dir string) (*migLog, []Record, []uint64, error) {
+	res, err := journal.LoadFS(fsys, dir)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -216,7 +216,7 @@ func openLog(dir string) (*migLog, []Record, []uint64, error) {
 		}
 		records = append(records, r)
 	}
-	store, err := journal.Open(dir)
+	store, err := journal.OpenFS(fsys, dir)
 	if err != nil {
 		return nil, nil, nil, err
 	}

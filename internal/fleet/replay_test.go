@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"insure/internal/journal"
 	"insure/internal/sim"
 )
 
@@ -25,7 +26,7 @@ func (stubManager) Control(_ *sim.System, _ time.Duration) {}
 // job/checkpoint/restore triple rides along.
 func wanLogFixture(t *testing.T, dir string) ([]Record, []uint64) {
 	t.Helper()
-	log, existing, _, err := openLog(dir)
+	log, existing, _, err := openLog(journal.Disk, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

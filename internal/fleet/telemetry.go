@@ -33,6 +33,13 @@ type fleetTelemetry struct {
 	splitBrain    *telemetry.Counter
 	retransmitGB  *telemetry.Gauge
 
+	// Checkpoint-image integrity series (Config.Images set).
+	imagesLanded    *telemetry.Counter
+	imagesVerified  *telemetry.Counter
+	imagesRepaired  *telemetry.Counter
+	imagesCorrupt   *telemetry.Counter
+	imagesReshipped *telemetry.Counter
+
 	siteUp        []*telemetry.Gauge
 	siteSoC       []*telemetry.Gauge
 	siteMode      []*telemetry.Gauge
@@ -66,6 +73,13 @@ func (c *Coordinator) AttachTelemetry(reg *telemetry.Registry) {
 		jobsDoubleRun: reg.Counter("insure_fleet_jobs_double_run_total", "Guard: job IDs that landed twice (must stay 0)."),
 		splitBrain:    reg.Counter("insure_fleet_split_brain_total", "Guard: jobs entering a transfer while in flight or landed (must stay 0)."),
 		retransmitGB:  reg.Gauge("insure_fleet_retransmit_gb", "Cumulative link bytes beyond goodput."),
+	}
+	if c.cfg.Images != nil {
+		t.imagesLanded = reg.Counter("insure_fleet_images_landed_total", "Checkpoint image pairs written to the store.")
+		t.imagesVerified = reg.Counter("insure_fleet_images_verified_total", "Landed images that read back intact.")
+		t.imagesRepaired = reg.Counter("insure_fleet_images_repaired_total", "Damaged image copies rebuilt from their mirror.")
+		t.imagesCorrupt = reg.Counter("insure_fleet_images_corrupt_total", "Landings with no intact copy (each re-ships).")
+		t.imagesReshipped = reg.Counter("insure_fleet_images_reshipped_total", "Shipments dispatched again after a failed verify.")
 	}
 	for i := range c.sites {
 		lbl := telemetry.Label{Key: "site", Value: c.sites[i].name}
@@ -132,6 +146,15 @@ func (c *Coordinator) publishTelemetry() {
 	setCounter(t.jobsDoubleRun, tot.JobsDoubleRun)
 	setCounter(t.splitBrain, tot.SplitBrain)
 	t.retransmitGB.Set(tot.RetransmitGB)
+
+	if c.cfg.Images != nil && t.imagesLanded != nil {
+		is := c.cfg.Images.Stats()
+		setCounter(t.imagesLanded, is.Landed)
+		setCounter(t.imagesVerified, is.Verified)
+		setCounter(t.imagesRepaired, is.Repaired)
+		setCounter(t.imagesCorrupt, is.Corrupt)
+		setCounter(t.imagesReshipped, is.Reshipped)
+	}
 }
 
 // setCounter advances a monotonic counter to the given absolute total.

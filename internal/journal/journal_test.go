@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -223,7 +224,30 @@ func TestStoreTornTailIsDropped(t *testing.T) {
 	}
 }
 
-func TestStoreCorruptRecordStopsReplay(t *testing.T) {
+// corruptByte flips one byte in every named file that exists.
+func corruptByte(t *testing.T, dir string, offset int, names ...string) {
+	t.Helper()
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		raw, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := offset
+		if off < 0 {
+			off += len(raw)
+		}
+		raw[off] ^= 0xFF
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStoreMidstreamCorruptionResyncs(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir)
 	if err != nil {
@@ -238,25 +262,79 @@ func TestStoreCorruptRecordStopsReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Flip a payload byte in the middle record: it and everything after
-	// must be dropped (a corrupt middle means the tail is untrustworthy).
-	jpath := filepath.Join(dir, journalName)
-	raw, err := os.ReadFile(jpath)
-	if err != nil {
-		t.Fatal(err)
-	}
+	// Flip a payload byte in the middle record of BOTH copies: the damaged
+	// record is lost, but — unlike a torn tail — replay must resynchronize
+	// and keep the good record after it, and must say so.
 	rec := recordHeader + 2
-	raw[rec+recordHeader] ^= 0xFF
-	if err := os.WriteFile(jpath, raw, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	corruptByte(t, dir, rec+recordHeader, journalName, journalMirror)
 
 	res, err := Load(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Entries) != 1 {
-		t.Fatalf("entries = %d, want 1 (replay stops at corruption)", len(res.Entries))
+	if len(res.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (replay resyncs past corruption)", len(res.Entries))
+	}
+	if res.EntrySeqs[0] != 1 || res.EntrySeqs[1] != 3 {
+		t.Errorf("seqs = %v, want [1 3]", res.EntrySeqs)
+	}
+	if res.Midstream == 0 {
+		t.Error("midstream corruption not reported")
+	}
+	if res.Tail != TailClean {
+		t.Errorf("tail = %v, want clean (damage was mid-stream, not a crash)", res.Tail)
+	}
+}
+
+func TestStoreMirrorMasksCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Append([]byte{0xAA, byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage only the primary: the mirror must supply the lost record and
+	// the load must report the masking.
+	rec := recordHeader + 2
+	corruptByte(t, dir, rec+recordHeader, journalName)
+
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3 (mirror masks the damage)", len(res.Entries))
+	}
+	if res.Masked == 0 {
+		t.Error("masked recovery not reported")
+	}
+	if res.Midstream == 0 || res.CorruptCopies == 0 {
+		t.Errorf("Midstream=%d CorruptCopies=%d, want both > 0", res.Midstream, res.CorruptCopies)
+	}
+
+	// Reopen normalizes the pair back to the full record set.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 3 || res.Midstream != 0 || res.Masked != 0 {
+		t.Errorf("after reopen: entries=%d Midstream=%d Masked=%d, want 3/0/0",
+			len(res.Entries), res.Midstream, res.Masked)
 	}
 }
 
@@ -272,19 +350,177 @@ func TestStoreCorruptSnapshotIsAnError(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	spath := filepath.Join(dir, snapshotName)
-	raw, err := os.ReadFile(spath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	raw[len(raw)-1] ^= 0xFF
-	if err := os.WriteFile(spath, raw, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	// Corrupt every copy of the only generation: nothing intact remains
+	// and the load must fail loudly rather than boot from zero.
+	corruptByte(t, dir, -1, slotName(0), slotMirror(0), slotName(1), slotMirror(1), legacySnapshotName)
 	if _, err := Load(dir); err == nil {
 		t.Fatal("want error loading corrupt snapshot")
 	}
 }
+
+func TestStoreSnapshotMirrorCoversCorruptPrimary(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot([]byte("snapshot-payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	corruptByte(t, dir, -1, slotName(0))
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Snapshot) != "snapshot-payload" {
+		t.Fatalf("snapshot = %q, want mirror copy to cover", res.Snapshot)
+	}
+	if res.CorruptCopies == 0 {
+		t.Error("corrupt primary not counted")
+	}
+}
+
+func TestStoreFallsBackToOlderGeneration(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("rec-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot([]byte("gen-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("rec-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot([]byte("gen-2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("rec-3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Destroy both copies of the newest generation (slot B holds gen-2:
+	// gen-1 went to slot A, gen-2 to the older empty slot B). Recovery
+	// must fall back to gen-1 and replay the sealed segment after it.
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Snapshot) != "gen-2" {
+		t.Fatalf("pre-damage snapshot = %q, want gen-2", res.Snapshot)
+	}
+	newest := slotName(1)
+	newestMir := slotMirror(1)
+	if string(mustRead(t, dir, slotName(0))[blobHeader:]) == "gen-2" {
+		newest, newestMir = slotName(0), slotMirror(0)
+	}
+	corruptByte(t, dir, -1, newest, newestMir)
+
+	res, err = Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Snapshot) != "gen-1" {
+		t.Fatalf("snapshot = %q, want fallback to gen-1", res.Snapshot)
+	}
+	if !res.SnapshotFallback {
+		t.Error("fallback not reported")
+	}
+	// The longer replay must carry every record after gen-1: rec-2 from
+	// the sealed segment and rec-3 from the active journal.
+	var got []string
+	for _, e := range res.Entries {
+		got = append(got, string(e))
+	}
+	if len(got) != 2 || got[0] != "rec-2" || got[1] != "rec-3" {
+		t.Fatalf("fallback replay = %q, want [rec-2 rec-3]", got)
+	}
+}
+
+func mustRead(t *testing.T, dir, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestStoreSealedSegmentsPruned(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Snapshot([]byte{0x50, byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := 0
+	for _, e := range names {
+		if _, ok := segSeq(e.Name()); ok {
+			segs++
+		}
+	}
+	// Only history newer than the older surviving generation may remain:
+	// with a snapshot after every record that is exactly one segment.
+	if segs != 1 {
+		t.Errorf("sealed segments = %d, want 1 (older history pruned)", segs)
+	}
+}
+
+func TestStorePoisonedByFailedSync(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate fsyncgate: force the next sync to fail by swapping the
+	// handle for one that errors.
+	s.f = failingFile{File: s.f}
+	if _, err := s.Append([]byte("doomed")); err == nil {
+		t.Fatal("want error from failing sync")
+	}
+	if s.Failed() == nil {
+		t.Fatal("store not poisoned after failed sync")
+	}
+	if _, err := s.Append([]byte("after")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after poison = %v, want ErrPoisoned", err)
+	}
+	if err := s.Snapshot([]byte("after")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("snapshot after poison = %v, want ErrPoisoned", err)
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("close of poisoned store must surface the failure")
+	}
+}
+
+type failingFile struct{ File }
+
+func (f failingFile) Sync() error { return errors.New("injected: fsync failed") }
 
 func TestStoreEmptyDirectory(t *testing.T) {
 	res, err := Load(filepath.Join(t.TempDir(), "never-created"))

@@ -1,0 +1,90 @@
+package journal
+
+import (
+	"os"
+	"sort"
+)
+
+// File is the slice of *os.File the journal needs. Write/Sync/Close map
+// straight onto the os calls; fault-injecting wrappers (internal/diskfault)
+// interpose here to tear writes and fail fsyncs.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the filesystem the store mounts. Everything the journal, the
+// scrubber, and the fleet image store touch on disk goes through an FS, so
+// a single seeded wrapper can inject torn writes, bit rot, short reads,
+// lost renames, ENOSPC, and failed fsyncs under every consumer at once.
+// Disk is the real thing; tests and chaos campaigns substitute their own.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// OpenFile opens name with the given os.O_* flags (mode 0o644).
+	OpenFile(name string, flag int) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically moves old over new.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Stat reports metadata for name.
+	Stat(name string) (os.FileInfo, error)
+	// ReadDir lists the names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making renames durable.
+	SyncDir(dir string) error
+}
+
+// Disk is the os-backed FS every production store mounts by default.
+var Disk FS = diskFS{}
+
+type diskFS struct{}
+
+func (diskFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (diskFS) OpenFile(name string, flag int) (File, error) {
+	f, err := os.OpenFile(name, flag, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (diskFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (diskFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (diskFS) Remove(name string) error { return os.Remove(name) }
+
+func (diskFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+func (diskFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (diskFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,130 @@
+// Command synccheck is the storage-integrity vet step: it flags bare
+// statement-level calls to .Sync() and .Close() whose error result is
+// silently discarded.
+//
+// The durability argument of internal/journal rests on every fsync
+// verdict being observed — a Sync error is the *only* signal that a
+// commit never reached the platter, and the journal turns it into a
+// poisoned store rather than losing it. A `f.Sync()` written as a bare
+// statement defeats that: the write appears durable and the daemon
+// happily acks state that a power cut will erase. Close matters for the
+// same reason on writeback filesystems, where the flush error often
+// surfaces only at close time.
+//
+// The check is purely syntactic (go/ast, no type information), which is
+// the point: inside the storage packages *every* Sync/Close result is
+// load-bearing no matter the receiver type, so the rule is enforceable
+// without build context. Two idioms are exempt:
+//
+//   - `defer f.Close()` — the deferred cleanup path, where the error has
+//     no caller left to return to and the preceding explicit
+//     Close/Sync already carried the verdict;
+//   - `_ = f.Close()` — an assignment, not an ExprStmt, marking a
+//     *deliberate* discard (e.g. closing an already-poisoned store whose
+//     error was captured earlier). The underscore is the audit trail.
+//
+// Usage:
+//
+//	go run ./internal/tools/synccheck ./internal/journal ./internal/fleet
+//
+// Exits 1 and prints file:line for every violation; exits 0 when the
+// audited packages are clean.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// checked are the method names whose statement-level bare calls we flag.
+var checked = map[string]bool{
+	"Sync":  true,
+	"Close": true,
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: synccheck dir [dir...]")
+		os.Exit(2)
+	}
+	var violations []string
+	for _, dir := range dirs {
+		v, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synccheck: %v\n", err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	sort.Strings(violations)
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "synccheck: %d unchecked Sync/Close call(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses every non-test and test .go file directly in dir and
+// returns one "file:line: message" string per bare Sync/Close statement.
+func checkDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var violations []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := bareSyncOrClose(call); ok {
+				pos := fset.Position(call.Pos())
+				violations = append(violations, fmt.Sprintf(
+					"%s:%d: result of %s() discarded; handle the error or mark the discard with `_ =`",
+					pos.Filename, pos.Line, name))
+			}
+			return true
+		})
+	}
+	return violations, nil
+}
+
+// bareSyncOrClose reports whether call is a zero-argument method call
+// named Sync or Close — the shape of the fsync/close verdicts we audit.
+// Argument-taking calls (e.g. ch.Close(reason)) are someone else's API.
+func bareSyncOrClose(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 0 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !checked[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
